@@ -1,0 +1,77 @@
+//! Criterion benches: scaled-down versions of every figure panel.
+//!
+//! Each bench runs one representative load point of the corresponding
+//! figure through the same code path as the full harness binaries. Sample
+//! counts are kept low — the statistics of interest (latency distributions
+//! inside the simulated run) are computed by the harness itself; Criterion
+//! here tracks the cost of regenerating them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iabc_bench::{measure, sel, Effort, StackSel};
+use iabc_core::{CostModel, RbKind};
+use iabc_sim::NetworkParams;
+
+#[allow(clippy::too_many_arguments)]
+fn bench_point(
+    c: &mut Criterion,
+    name: &str,
+    sel: StackSel,
+    n: usize,
+    net: &NetworkParams,
+    cost: CostModel,
+    throughput: f64,
+    payload: usize,
+) {
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let p = measure(sel, n, net, cost, throughput, payload, Effort::quick());
+            assert!(p.mean_ms > 0.0);
+            p
+        })
+    });
+}
+
+fn figure1(c: &mut Criterion) {
+    let net = NetworkParams::setup1();
+    let cost = CostModel::setup1();
+    bench_point(c, "fig1/indirect/100mps/2000B", sel::indirect(RbKind::EagerN2), 3, &net, cost, 100.0, 2000);
+    bench_point(c, "fig1/direct/100mps/2000B", sel::direct_messages(RbKind::EagerN2), 3, &net, cost, 100.0, 2000);
+}
+
+fn figure3(c: &mut Criterion) {
+    let net = NetworkParams::setup1();
+    let cost = CostModel::setup1();
+    bench_point(c, "fig3/indirect/n3/400mps", sel::indirect(RbKind::EagerN2), 3, &net, cost, 400.0, 1);
+    bench_point(c, "fig3/faulty/n3/400mps", sel::faulty(RbKind::EagerN2), 3, &net, cost, 400.0, 1);
+    bench_point(c, "fig3/indirect/n5/400mps", sel::indirect(RbKind::EagerN2), 5, &net, cost, 400.0, 1);
+}
+
+fn figure4(c: &mut Criterion) {
+    let net = NetworkParams::setup1();
+    let cost = CostModel::setup1();
+    bench_point(c, "fig4/indirect/n5/100mps/3000B", sel::indirect(RbKind::EagerN2), 5, &net, cost, 100.0, 3000);
+    bench_point(c, "fig4/faulty/n5/100mps/3000B", sel::faulty(RbKind::EagerN2), 5, &net, cost, 100.0, 3000);
+}
+
+fn figures5_6(c: &mut Criterion) {
+    let net = NetworkParams::setup2();
+    let cost = CostModel::setup2();
+    bench_point(c, "fig5/indirect-rb-n2/1500mps/1000B", sel::indirect(RbKind::EagerN2), 3, &net, cost, 1500.0, 1000);
+    bench_point(c, "fig6/indirect-rb-n/1500mps/1000B", sel::indirect(RbKind::LazyN), 3, &net, cost, 1500.0, 1000);
+    bench_point(c, "fig5+6/urb/1500mps/1000B", sel::urb(), 3, &net, cost, 1500.0, 1000);
+}
+
+fn figure7(c: &mut Criterion) {
+    let net = NetworkParams::setup2();
+    let cost = CostModel::setup2();
+    bench_point(c, "fig7/indirect-rb-n2/1000mps", sel::indirect(RbKind::EagerN2), 3, &net, cost, 1000.0, 1);
+    bench_point(c, "fig7/indirect-rb-n/1000mps", sel::indirect(RbKind::LazyN), 3, &net, cost, 1000.0, 1);
+    bench_point(c, "fig7/urb/1000mps", sel::urb(), 3, &net, cost, 1000.0, 1);
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = figure1, figure3, figure4, figures5_6, figure7
+}
+criterion_main!(figures);

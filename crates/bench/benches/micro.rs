@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the hot substrate paths: the wire codec, identifier
+//! sets (the values indirect consensus shuffles around), the event queue
+//! and the FIFO resources of the simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iabc_sim::queue::EventQueue;
+use iabc_sim::resource::FifoResource;
+use iabc_types::wire::{Decode, Encode};
+use iabc_types::{quorum, Duration, IdSet, MsgId, ProcessId, Time};
+
+fn ids(n: u64) -> IdSet {
+    IdSet::from_ids((0..n).map(|s| MsgId::new(ProcessId::new((s % 5) as u16), s)))
+}
+
+fn codec(c: &mut Criterion) {
+    let set = ids(64);
+    c.bench_function("codec/encode_idset_64", |b| {
+        b.iter(|| black_box(&set).to_bytes())
+    });
+    let bytes = set.to_bytes();
+    c.bench_function("codec/decode_idset_64", |b| {
+        b.iter(|| IdSet::from_bytes(black_box(&bytes)).unwrap())
+    });
+}
+
+fn idset_ops(c: &mut Criterion) {
+    let a = ids(128);
+    let b_set = IdSet::from_ids((64..192).map(|s| MsgId::new(ProcessId::new(1), s)));
+    c.bench_function("idset/union_128", |b| {
+        b.iter(|| black_box(&a).union(black_box(&b_set)))
+    });
+    c.bench_function("idset/subset_check_128", |b| {
+        b.iter(|| black_box(&b_set).iter().all(|id| black_box(&a).contains(id)))
+    });
+    c.bench_function("idset/insert_1k", |b| {
+        b.iter(|| {
+            let mut s = IdSet::new();
+            for i in 0..1000u64 {
+                s.insert(MsgId::new(ProcessId::new((i % 7) as u16), i));
+            }
+            s
+        })
+    });
+}
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(Time::from_nanos(i * 37 % 5000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            sum
+        })
+    });
+}
+
+fn resources(c: &mut Criterion) {
+    c.bench_function("sim/fifo_resource_acquire_10k", |b| {
+        b.iter(|| {
+            let mut r = FifoResource::new();
+            let mut t = Time::ZERO;
+            for _ in 0..10_000 {
+                t = r.acquire(t, Duration::from_nanos(100));
+            }
+            t
+        })
+    });
+}
+
+fn quorums(c: &mut Criterion) {
+    c.bench_function("quorum/all_formulas_1..256", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for n in 1..256usize {
+                acc += quorum::majority(black_box(n))
+                    + quorum::two_thirds(n)
+                    + quorum::one_third(n)
+                    + quorum::min_quorum_intersection(n, quorum::majority(n));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = codec, idset_ops, event_queue, resources, quorums
+}
+criterion_main!(micro);

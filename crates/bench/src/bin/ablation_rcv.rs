@@ -1,0 +1,56 @@
+//! Ablation: where does the indirect-vs-faulty gap come from?
+//!
+//! §4.3 of the paper attributes the overhead of indirect consensus to the
+//! `rcv()` evaluations. This harness sweeps the per-identifier `rcv` cost
+//! (0 = free) at a fixed high load and shows the gap collapsing to ≈0 when
+//! the check is free — isolating the cause exactly as the paper argues.
+
+use iabc_bench::{format_panel, sel, sweep_throughput, Effort, Series};
+use iabc_core::{CostModel, RbKind};
+use iabc_sim::NetworkParams;
+use iabc_types::Duration;
+
+fn main() {
+    let net = NetworkParams::setup1();
+    let effort = Effort::full();
+    let throughputs = [400.0, 800.0];
+
+    let mut all: Vec<Series> = Vec::new();
+    for per_id_us in [0u64, 10, 40, 80] {
+        let cost = CostModel {
+            rcv_check_per_id: Duration::from_micros(per_id_us),
+            ..CostModel::setup1()
+        };
+        let mut series = sweep_throughput(
+            &[("Indirect", sel::indirect(RbKind::EagerN2))],
+            3,
+            &net,
+            cost,
+            &throughputs,
+            1,
+            effort,
+        );
+        series[0].label = format!("Indirect, rcv={per_id_us}us/id");
+        all.extend(series);
+    }
+    // The faulty baseline never pays rcv costs.
+    let baseline = sweep_throughput(
+        &[("(Faulty) consensus", sel::faulty(RbKind::EagerN2))],
+        3,
+        &net,
+        CostModel::setup1(),
+        &throughputs,
+        1,
+        effort,
+    );
+    all.extend(baseline);
+
+    println!(
+        "{}",
+        format_panel(
+            "Ablation: indirect-consensus overhead vs rcv() cost (n = 3, Setup 1, 1 byte)",
+            "thr [msg/s]",
+            &all
+        )
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 1: latency vs message size, n = 3, Setup 1, throughput
+//! 100 and 800 msg/s — indirect consensus vs consensus on full messages.
+
+use iabc_bench::{format_panel, sel, sweep_payload, write_csv, Effort};
+use iabc_core::{CostModel, RbKind};
+use iabc_sim::NetworkParams;
+
+fn main() {
+    let net = NetworkParams::setup1();
+    let cost = CostModel::setup1();
+    let effort = Effort::full();
+    let payloads = [1usize, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000];
+    let stacks = [
+        ("Indirect consensus", sel::indirect(RbKind::EagerN2)),
+        ("Consensus", sel::direct_messages(RbKind::EagerN2)),
+    ];
+
+    for (panel, thr) in [("a", 100.0), ("b", 800.0)] {
+        let series = sweep_payload(&stacks, 3, &net, cost, thr, &payloads, effort);
+        println!(
+            "{}",
+            format_panel(
+                &format!("Figure 1({panel}): n = 3, Throughput = {thr} msgs/s (Setup 1)"),
+                "size [bytes]",
+                &series
+            )
+        );
+        write_csv("fig1.csv", &format!("1{panel}"), "size_bytes", &series);
+    }
+}

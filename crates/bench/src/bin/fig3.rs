@@ -1,0 +1,30 @@
+//! Figure 3: latency vs throughput, n ∈ {3, 5}, Setup 1, 1-byte messages —
+//! indirect consensus vs the (faulty) consensus on message identifiers.
+
+use iabc_bench::{format_panel, sel, sweep_throughput, write_csv, Effort};
+use iabc_core::{CostModel, RbKind};
+use iabc_sim::NetworkParams;
+
+fn main() {
+    let net = NetworkParams::setup1();
+    let cost = CostModel::setup1();
+    let effort = Effort::full();
+    let throughputs = [50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0];
+    let stacks = [
+        ("Indirect consensus", sel::indirect(RbKind::EagerN2)),
+        ("(Faulty) Consensus", sel::faulty(RbKind::EagerN2)),
+    ];
+
+    for (panel, n) in [("a", 3usize), ("b", 5usize)] {
+        let series = sweep_throughput(&stacks, n, &net, cost, &throughputs, 1, effort);
+        println!(
+            "{}",
+            format_panel(
+                &format!("Figure 3({panel}): n = {n}, size of messages = 1 byte (Setup 1)"),
+                "thr [msg/s]",
+                &series
+            )
+        );
+        write_csv("fig3.csv", &format!("3{panel}"), "throughput", &series);
+    }
+}

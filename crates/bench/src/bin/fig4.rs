@@ -1,0 +1,35 @@
+//! Figure 4: latency vs payload, n = 5, Setup 1, throughput
+//! {10, 100, 400, 800} msg/s — indirect consensus vs (faulty) consensus on
+//! message identifiers.
+
+use iabc_bench::{format_panel, sel, sweep_payload, write_csv, Effort};
+use iabc_core::{CostModel, RbKind};
+use iabc_sim::NetworkParams;
+
+fn main() {
+    let net = NetworkParams::setup1();
+    let cost = CostModel::setup1();
+    let effort = Effort::full();
+    let payloads = [1usize, 1000, 2000, 3000, 4000, 5000];
+    let stacks = [
+        ("Indirect consensus", sel::indirect(RbKind::EagerN2)),
+        ("(Faulty) consensus", sel::faulty(RbKind::EagerN2)),
+    ];
+
+    for (panel, thr) in [("a", 10.0), ("b", 100.0), ("c", 400.0), ("d", 800.0)] {
+        // The paper plots Figure 4(d) only up to ~2 KB (the system
+        // saturates beyond); mirror that.
+        let sizes: Vec<usize> =
+            if thr >= 800.0 { vec![1, 500, 1000, 1500, 2000] } else { payloads.to_vec() };
+        let series = sweep_payload(&stacks, 5, &net, cost, thr, &sizes, effort);
+        println!(
+            "{}",
+            format_panel(
+                &format!("Figure 4({panel}): n = 5, Throughput = {thr} msgs/s (Setup 1)"),
+                "size [bytes]",
+                &series
+            )
+        );
+        write_csv("fig4.csv", &format!("4{panel}"), "size_bytes", &series);
+    }
+}

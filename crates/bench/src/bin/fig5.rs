@@ -1,0 +1,32 @@
+//! Figure 5: latency vs payload, n = 3, Setup 2, reliable broadcast in
+//! O(n²) messages — indirect consensus + RB vs consensus on ids + URB.
+
+use iabc_bench::{format_panel, sel, sweep_payload, write_csv, Effort};
+use iabc_core::{CostModel, RbKind};
+use iabc_sim::NetworkParams;
+
+fn main() {
+    let net = NetworkParams::setup2();
+    let cost = CostModel::setup2();
+    let effort = Effort::full();
+    let payloads = [1usize, 500, 1000, 1500, 2000, 2500];
+    let stacks = [
+        ("Indirect consensus w/ rbcast", sel::indirect(RbKind::EagerN2)),
+        ("Consensus w/ uniform rbcast", sel::urb()),
+    ];
+
+    for (panel, thr) in [("a", 500.0), ("b", 1500.0), ("c", 2000.0)] {
+        let series = sweep_payload(&stacks, 3, &net, cost, thr, &payloads, effort);
+        println!(
+            "{}",
+            format_panel(
+                &format!(
+                    "Figure 5({panel}): n = 3, Throughput = {thr} msgs/s, RB in O(n^2) (Setup 2)"
+                ),
+                "size [bytes]",
+                &series
+            )
+        );
+        write_csv("fig5.csv", &format!("5{panel}"), "size_bytes", &series);
+    }
+}

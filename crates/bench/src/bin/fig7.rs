@@ -1,0 +1,37 @@
+//! Figure 7: latency vs throughput, n = 3, Setup 2, 1-byte messages —
+//! indirect consensus + RB (O(n²) in panel a, O(n) in panel b) vs
+//! consensus on ids + URB.
+
+use iabc_bench::{format_panel, sel, sweep_throughput, write_csv, Effort};
+use iabc_core::{CostModel, RbKind};
+use iabc_sim::NetworkParams;
+
+fn main() {
+    let net = NetworkParams::setup2();
+    let cost = CostModel::setup2();
+    let effort = Effort::full();
+    let throughputs = [500.0, 750.0, 1000.0, 1250.0, 1500.0, 1750.0, 2000.0];
+
+    for (panel, rb, label) in [
+        ("a", RbKind::EagerN2, "Reliable broadcast in O(n^2) messages"),
+        ("b", RbKind::LazyN, "Reliable broadcast in O(n) messages"),
+    ] {
+        let stacks = [
+            (label, sel::indirect(rb)),
+            ("Consensus w/ uniform rbcast", sel::urb()),
+        ];
+        let series = sweep_throughput(&stacks, 3, &net, cost, &throughputs, 1, effort);
+        println!(
+            "{}",
+            format_panel(
+                &format!("Figure 7({panel}): n = 3, size = 1 byte, RB {} (Setup 2)", match rb {
+                    RbKind::EagerN2 => "O(n^2)",
+                    RbKind::LazyN => "O(n)",
+                }),
+                "thr [msg/s]",
+                &series
+            )
+        );
+        write_csv("fig7.csv", &format!("7{panel}"), "throughput", &series);
+    }
+}

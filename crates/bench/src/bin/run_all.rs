@@ -1,0 +1,19 @@
+//! Regenerates every figure of the paper in one go (≈ a few minutes in
+//! release mode). Equivalent to running fig1…fig7 and the ablation
+//! sequentially; output goes to stdout and `results/*.csv`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation_rcv"];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("bin directory").to_path_buf();
+    for bin in bins {
+        println!("\n######## {bin} ########");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nAll figures regenerated; CSVs under results/.");
+}

@@ -1,0 +1,571 @@
+//! The Chandra–Toueg ◇S consensus algorithm, as a reusable round machine.
+//!
+//! [`CtMachine`] implements the rotating-coordinator skeleton shared by the
+//! original algorithm \[2\] and the paper's indirect adaptation
+//! (Algorithm 2). The two differ in exactly the places the paper prints in
+//! bold, captured here by the [`CtPolicy`] trait:
+//!
+//! * **Phase 3** — what a process does with the coordinator's proposal
+//!   `v`: the original *always* adopts and acks; the indirect algorithm
+//!   acks only if `rcv(v)` holds, else nacks (Algorithm 2 lines 25–30).
+//! * **Phase 2** — whether the coordinator folds the selected estimate into
+//!   its own `estimate_p`: the original does; the indirect algorithm keeps
+//!   it in the separate `estimate_c` (Algorithm 2 lines 2, 18, 20, 21, 37),
+//!   because the coordinator may relay a value whose messages it does not
+//!   hold.
+//!
+//! [`CtConsensus`] is the original; [`CtIndirect`](crate::CtIndirect) (in
+//! its own module) is Algorithm 2.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::marker::PhantomData;
+
+use iabc_types::{quorum, ProcessId};
+
+use crate::msg::{ConsDest, ConsMsg};
+use crate::value::ConsensusValue;
+use crate::{ConsEnv, ConsOut, SingleConsensus};
+
+/// The variation points between the original CT algorithm and Algorithm 2.
+pub trait CtPolicy: fmt::Debug + Default + 'static {
+    /// Phase 3: whether to **ack** (and adopt) the coordinator's proposal.
+    ///
+    /// The original returns `true` unconditionally; Algorithm 2 returns
+    /// `rcv(v)` — the modification that makes v-valent configurations
+    /// v-stable.
+    fn accept_proposal<V: ConsensusValue>(
+        v: &V,
+        env: &ConsEnv<'_, V>,
+        out: &mut ConsOut<V>,
+    ) -> bool;
+
+    /// Phase 2: whether the coordinator adopts the selected estimate into
+    /// its own `estimate_p` (original CT) or keeps it only as the separate
+    /// `estimate_c` (Algorithm 2).
+    const COORDINATOR_ADOPTS_SELECTION: bool;
+
+    /// Human-readable algorithm name.
+    const NAME: &'static str;
+}
+
+/// Policy of the original (unmodified) Chandra–Toueg algorithm.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DirectCt;
+
+impl CtPolicy for DirectCt {
+    fn accept_proposal<V: ConsensusValue>(
+        _v: &V,
+        _env: &ConsEnv<'_, V>,
+        _out: &mut ConsOut<V>,
+    ) -> bool {
+        true // line 25 of Algorithm 2 without the rcv check
+    }
+
+    const COORDINATOR_ADOPTS_SELECTION: bool = true;
+    const NAME: &'static str = "ct";
+}
+
+/// The original Chandra–Toueg ◇S consensus: majority quorum, `f < n/2`.
+///
+/// Run it on full message sets for the classic (correct, heavyweight)
+/// reduction of atomic broadcast to consensus; run it on identifier sets to
+/// get the **faulty** baseline of §2.2.
+pub type CtConsensus<V> = CtMachine<V, DirectCt>;
+
+/// What the process is currently blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wait {
+    /// `propose` not yet called.
+    NotStarted,
+    /// Phase 2: gathering `⌈(n+1)/2⌉` estimates (coordinator, round > 1).
+    CoordEstimates,
+    /// Phase 3: waiting for the coordinator's proposal (or its suspicion).
+    Proposal,
+    /// Phase 4: waiting for `⌈(n+1)/2⌉` acks or one nack (coordinator).
+    CoordAcks,
+    /// Decided.
+    Done,
+}
+
+/// The Chandra–Toueg round machine, parameterized by a [`CtPolicy`].
+pub struct CtMachine<V, P: CtPolicy> {
+    me: ProcessId,
+    n: usize,
+    /// Added to the round number when selecting the coordinator, so that
+    /// consecutive consensus instances rotate their round-1 coordinator
+    /// (load balancing; coordinator work would otherwise pile onto one
+    /// process across every instance of the atomic broadcast reduction).
+    coord_offset: u64,
+    /// Current round `r_p` (1-based; 0 before `propose`).
+    round: u64,
+    /// `estimate_p`: the value this process vouches for.
+    estimate: Option<V>,
+    /// `ts_p`: the round in which `estimate_p` was last adopted.
+    ts: u64,
+    /// The value this process proposed as coordinator of the current round
+    /// (`estimate_c` in Algorithm 2) — also the value it decides on.
+    current_proposal: Option<V>,
+    wait: Wait,
+    decided: bool,
+    /// Phase-1 estimates received, per round: sender → (estimate, ts).
+    estimates: BTreeMap<u64, BTreeMap<ProcessId, (V, u64)>>,
+    /// Proposals received, per round (buffered if we are behind).
+    proposals: BTreeMap<u64, V>,
+    /// Ack senders per round.
+    acks: BTreeMap<u64, BTreeSet<ProcessId>>,
+    /// Nack senders per round.
+    nacks: BTreeMap<u64, BTreeSet<ProcessId>>,
+    _policy: PhantomData<P>,
+}
+
+impl<V: ConsensusValue, P: CtPolicy> fmt::Debug for CtMachine<V, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CtMachine")
+            .field("policy", &P::NAME)
+            .field("me", &self.me)
+            .field("round", &self.round)
+            .field("ts", &self.ts)
+            .field("wait", &self.wait)
+            .field("decided", &self.decided)
+            .finish()
+    }
+}
+
+impl<V: ConsensusValue, P: CtPolicy> CtMachine<V, P> {
+    /// Creates an instance for process `me` in a system of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(me: ProcessId, n: usize) -> Self {
+        Self::with_coord_offset(me, n, 0)
+    }
+
+    /// Like [`CtMachine::new`], with the coordinator rotation shifted by
+    /// `offset` rounds (instance managers pass the instance number).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_coord_offset(me: ProcessId, n: usize, offset: u64) -> Self {
+        assert!(n > 0, "system must have at least one process");
+        CtMachine {
+            me,
+            n,
+            coord_offset: offset,
+            round: 0,
+            estimate: None,
+            ts: 0,
+            current_proposal: None,
+            wait: Wait::NotStarted,
+            decided: false,
+            estimates: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            nacks: BTreeMap::new(),
+            _policy: PhantomData,
+        }
+    }
+
+    /// The majority quorum `⌈(n+1)/2⌉`.
+    fn quorum(&self) -> usize {
+        quorum::majority(self.n)
+    }
+
+    fn coord(&self, round: u64) -> ProcessId {
+        ProcessId::coordinator_of_round(round + self.coord_offset, self.n)
+    }
+
+    /// Current round (for tests and debugging).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Current `estimate_p` (for tests and debugging).
+    pub fn estimate(&self) -> Option<&V> {
+        self.estimate.as_ref()
+    }
+
+    /// Current timestamp `ts_p` (for tests and debugging).
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// Decides `value` (exactly once) and R-broadcasts the decision:
+    /// the local delivery plus an eager relay on first receipt gives the
+    /// reliable-broadcast semantics of Algorithm 2 lines 37–41.
+    fn decide(&mut self, value: V, out: &mut ConsOut<V>) {
+        if self.decided {
+            return;
+        }
+        self.decided = true;
+        self.wait = Wait::Done;
+        out.sends.push((ConsDest::Others, ConsMsg::Decide { value: value.clone() }));
+        out.decision = Some(value);
+        // Round-keyed buffers are dead weight now.
+        self.estimates.clear();
+        self.proposals.clear();
+        self.acks.clear();
+        self.nacks.clear();
+    }
+
+    /// Advances to the next round and performs its entry steps. Loops when
+    /// a round resolves immediately (e.g. the next coordinator is already
+    /// suspected).
+    fn enter_next_round(&mut self, env: &ConsEnv<'_, V>, out: &mut ConsOut<V>) {
+        loop {
+            if self.decided {
+                return;
+            }
+            self.round += 1;
+            let r = self.round;
+            let c = self.coord(r);
+            self.current_proposal = None;
+
+            // Phase 1: send the current estimate to the round's coordinator
+            // (rounds > 1 only; in round 1 the coordinator uses its own).
+            if r > 1 {
+                let estimate = self.estimate.clone().expect("estimate set at propose");
+                out.sends
+                    .push((ConsDest::To(c), ConsMsg::CtEstimate { round: r, estimate, ts: self.ts }));
+            }
+
+            if c == self.me {
+                if r == 1 {
+                    // Phase 2, first round: propose our own estimate
+                    // (Algorithm 2 line 20).
+                    let proposal = self.estimate.clone().expect("estimate set at propose");
+                    self.broadcast_proposal(proposal, out);
+                    return;
+                }
+                // Phase 2: gather ⌈(n+1)/2⌉ estimates (line 15).
+                self.wait = Wait::CoordEstimates;
+                if self.try_select_proposal(env, out) {
+                    return;
+                }
+                return; // still gathering
+            }
+
+            // Phase 3 as a non-coordinator: the proposal may already be
+            // buffered, or the coordinator may already be suspected.
+            self.wait = Wait::Proposal;
+            if let Some(v) = self.proposals.get(&r).cloned() {
+                self.handle_proposal(v, env, out);
+                if self.wait == Wait::Proposal {
+                    // handle_proposal advanced us via recursion guard; cannot
+                    // happen, but keep the loop well-founded.
+                    return;
+                }
+                return;
+            }
+            if env.suspected.contains(c) {
+                // Suspect the coordinator outright: nack and try the next
+                // round (Algorithm 2 lines 31–32).
+                out.sends.push((ConsDest::To(c), ConsMsg::CtNack { round: r }));
+                continue;
+            }
+            return; // wait for the proposal or a suspicion
+        }
+    }
+
+    /// Phase 2 completion check: with a majority of estimates for the
+    /// current round, select the one with the largest timestamp
+    /// (deterministic tie-break: smallest sender id) and broadcast it.
+    /// Returns `true` if a proposal went out.
+    fn try_select_proposal(&mut self, _env: &ConsEnv<'_, V>, out: &mut ConsOut<V>) -> bool {
+        let r = self.round;
+        let Some(received) = self.estimates.get(&r) else { return false };
+        if received.len() < self.quorum() {
+            return false;
+        }
+        let (_, (value, _ts)) = received
+            .iter()
+            .max_by_key(|(sender, (_, ts))| (*ts, std::cmp::Reverse(**sender)))
+            .expect("nonempty by quorum check");
+        let selected = value.clone();
+        if P::COORDINATOR_ADOPTS_SELECTION {
+            // Original CT: the coordinator folds the selection into its own
+            // estimate. (Algorithm 2 deliberately does NOT do this — the
+            // coordinator may lack msgs(selected); see §3.2.2.)
+            self.estimate = Some(selected.clone());
+        }
+        self.broadcast_proposal(selected, out);
+        true
+    }
+
+    /// Sends the round proposal to everyone (self included) and moves to
+    /// Phase 4.
+    fn broadcast_proposal(&mut self, proposal: V, out: &mut ConsOut<V>) {
+        self.current_proposal = Some(proposal.clone());
+        out.sends.push((ConsDest::All, ConsMsg::CtProposal { round: self.round, estimate: proposal }));
+        self.wait = Wait::CoordAcks;
+    }
+
+    /// Phase 3: react to the coordinator's proposal for the current round.
+    fn handle_proposal(&mut self, v: V, env: &ConsEnv<'_, V>, out: &mut ConsOut<V>) {
+        let r = self.round;
+        let c = self.coord(r);
+        if P::accept_proposal(&v, env, out) {
+            // Adopt: estimate_p ← v, ts_p ← r (Algorithm 2 lines 26–28).
+            self.estimate = Some(v);
+            self.ts = r;
+            out.sends.push((ConsDest::To(c), ConsMsg::CtAck { round: r }));
+        } else {
+            // Refuse: the proposal's messages are missing (lines 29–30).
+            out.sends.push((ConsDest::To(c), ConsMsg::CtNack { round: r }));
+        }
+        if c != self.me {
+            // Non-coordinators proceed to the next round immediately.
+            self.enter_next_round(env, out);
+        }
+        // The coordinator stays in Phase 4 (Wait::CoordAcks) — its own
+        // ack/nack just sent will be counted like everyone else's.
+    }
+
+    /// Phase 4 completion check: decide on a majority of acks; abandon the
+    /// round on the first nack.
+    fn check_acks(&mut self, env: &ConsEnv<'_, V>, out: &mut ConsOut<V>) {
+        let r = self.round;
+        if self.wait != Wait::CoordAcks {
+            return;
+        }
+        if self.nacks.get(&r).is_some_and(|s| !s.is_empty()) {
+            // Someone refused: next round (Algorithm 2 line 35, nack arm).
+            self.enter_next_round(env, out);
+            return;
+        }
+        if self.acks.get(&r).is_some_and(|s| s.len() >= self.quorum()) {
+            let value = self.current_proposal.clone().expect("proposal set before Phase 4");
+            self.decide(value, out);
+        }
+    }
+}
+
+impl<V: ConsensusValue, P: CtPolicy> SingleConsensus<V> for CtMachine<V, P> {
+    fn propose(&mut self, v: V, env: &ConsEnv<'_, V>, out: &mut ConsOut<V>) {
+        assert_eq!(self.wait, Wait::NotStarted, "propose may be called only once");
+        self.estimate = Some(v);
+        self.ts = 0;
+        self.enter_next_round(env, out);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: ConsMsg<V>,
+        env: &ConsEnv<'_, V>,
+        out: &mut ConsOut<V>,
+    ) {
+        if self.decided {
+            return;
+        }
+        match msg {
+            ConsMsg::Decide { value } => {
+                // R-deliver of a decision: decide and relay (lines 38–41).
+                self.decide(value, out);
+            }
+            ConsMsg::CtEstimate { round, estimate, ts } => {
+                if round < self.round {
+                    return; // stale
+                }
+                self.estimates.entry(round).or_default().insert(from, (estimate, ts));
+                if self.wait == Wait::CoordEstimates && round == self.round {
+                    self.try_select_proposal(env, out);
+                }
+            }
+            ConsMsg::CtProposal { round, estimate } => {
+                if round < self.round {
+                    return; // stale
+                }
+                if round == self.round
+                    && (self.wait == Wait::Proposal
+                        || (self.wait == Wait::CoordAcks && from == self.me))
+                {
+                    self.handle_proposal(estimate, env, out);
+                } else {
+                    self.proposals.insert(round, estimate);
+                }
+            }
+            ConsMsg::CtAck { round } => {
+                if round < self.round {
+                    return;
+                }
+                self.acks.entry(round).or_default().insert(from);
+                if round == self.round {
+                    self.check_acks(env, out);
+                }
+            }
+            ConsMsg::CtNack { round } => {
+                if round < self.round {
+                    return;
+                }
+                self.nacks.entry(round).or_default().insert(from);
+                if round == self.round {
+                    self.check_acks(env, out);
+                }
+            }
+            // MR traffic does not belong to this algorithm.
+            ConsMsg::MrPhase1 { .. } | ConsMsg::MrPhase2 { .. } => {}
+        }
+    }
+
+    fn on_suspect(&mut self, p: ProcessId, env: &ConsEnv<'_, V>, out: &mut ConsOut<V>) {
+        if self.decided || self.wait != Wait::Proposal {
+            return;
+        }
+        let c = self.coord(self.round);
+        if p == c {
+            // Phase 3, suspicion arm (Algorithm 2 lines 31–32).
+            out.sends.push((ConsDest::To(c), ConsMsg::CtNack { round: self.round }));
+            self.enter_next_round(env, out);
+        }
+    }
+
+    fn has_decided(&self) -> bool {
+        self.decided
+    }
+
+    fn name(&self) -> &'static str {
+        P::NAME
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::LoopNet;
+    use crate::value::AlwaysHeld;
+    use iabc_types::{IdSet, MsgId};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn ids(seqs: &[u64]) -> IdSet {
+        IdSet::from_ids(seqs.iter().map(|&s| MsgId::new(p(0), s)))
+    }
+
+    fn net(n: usize) -> LoopNet<IdSet, CtConsensus<IdSet>> {
+        LoopNet::new(n, |q| CtConsensus::new(q, n), || Box::new(AlwaysHeld))
+    }
+
+    #[test]
+    fn three_processes_same_proposal_decide_it() {
+        let mut net = net(3);
+        for q in 0..3 {
+            net.propose(p(q), ids(&[1, 2]));
+        }
+        net.run();
+        net.assert_all_decided(&ids(&[1, 2]));
+    }
+
+    #[test]
+    fn decision_is_one_of_the_proposals() {
+        let mut net = net(3);
+        net.propose(p(0), ids(&[0]));
+        net.propose(p(1), ids(&[1]));
+        net.propose(p(2), ids(&[2]));
+        net.run();
+        let d = net.common_decision();
+        assert!(
+            [ids(&[0]), ids(&[1]), ids(&[2])].contains(&d),
+            "decision {d:?} was never proposed"
+        );
+    }
+
+    #[test]
+    fn round_one_coordinator_wins_in_good_runs() {
+        // Coordinator of round 1 is p1; its estimate should be decided.
+        let mut net = net(3);
+        net.propose(p(0), ids(&[0]));
+        net.propose(p(1), ids(&[1]));
+        net.propose(p(2), ids(&[2]));
+        net.run();
+        assert_eq!(net.common_decision(), ids(&[1]));
+    }
+
+    #[test]
+    fn single_process_decides_own_value() {
+        let mut net = net(1);
+        net.propose(p(0), ids(&[7]));
+        net.run();
+        net.assert_all_decided(&ids(&[7]));
+    }
+
+    #[test]
+    fn survives_crashed_round_one_coordinator() {
+        let mut net = net(3);
+        net.crash(p(1)); // round-1 coordinator silent from the start
+        net.propose(p(0), ids(&[0]));
+        net.propose(p(2), ids(&[2]));
+        net.run(); // drains: everyone stuck waiting for p1
+        assert!(!net.algos[0].has_decided());
+        // ◇S eventually suspects p1 at both correct processes.
+        net.suspect_at(p(0), p(1));
+        net.suspect_at(p(2), p(1));
+        net.run();
+        // Round 2's coordinator is p2: its estimate gets decided.
+        assert!(net.algos[0].has_decided() && net.algos[2].has_decided());
+        assert_eq!(net.decisions[0], net.decisions[2]);
+    }
+
+    #[test]
+    fn late_proposer_still_decides() {
+        let mut net = net(3);
+        net.propose(p(1), ids(&[1]));
+        net.propose(p(2), ids(&[2]));
+        net.run(); // p1+p2 reach a decision without p0 (majority = 2)
+        assert!(net.algos[1].has_decided());
+        assert!(!net.algos[0].has_decided());
+        // p0 proposes later and decides from the relayed Decide.
+        net.propose(p(0), ids(&[0]));
+        net.run();
+        assert!(net.algos[0].has_decided());
+        assert_eq!(net.decisions[0], net.decisions[1]);
+    }
+
+    #[test]
+    fn false_suspicion_does_not_break_agreement() {
+        let mut net = net(3);
+        // p0 falsely suspects the round-1 coordinator p1 from the start.
+        net.suspect_at(p(0), p(1));
+        net.propose(p(0), ids(&[0]));
+        net.propose(p(1), ids(&[1]));
+        net.propose(p(2), ids(&[2]));
+        net.run();
+        // All three still decide the same value.
+        let d = net.common_decision();
+        assert!([ids(&[0]), ids(&[1]), ids(&[2])].contains(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "propose may be called only once")]
+    fn double_propose_panics() {
+        let mut net = net(3);
+        net.propose(p(0), ids(&[0]));
+        net.propose(p(0), ids(&[0]));
+    }
+
+    #[test]
+    fn five_processes_with_two_crashes_terminate() {
+        let n = 5;
+        let mut net = LoopNet::new(n, |q| CtConsensus::<IdSet>::new(q, n), || Box::new(AlwaysHeld));
+        net.crash(p(1));
+        net.crash(p(2));
+        for q in [0u16, 3, 4] {
+            net.propose(p(q), ids(&[q as u64]));
+        }
+        net.run();
+        for q in [0u16, 3, 4] {
+            net.suspect_at(p(q), p(1));
+            net.suspect_at(p(q), p(2));
+        }
+        net.run();
+        for q in [0u16, 3, 4] {
+            assert!(net.algos[q as usize].has_decided(), "p{q} undecided");
+        }
+        assert_eq!(net.decisions[0], net.decisions[3]);
+        assert_eq!(net.decisions[3], net.decisions[4]);
+    }
+}

@@ -1,0 +1,416 @@
+//! Multiplexing of numbered consensus instances.
+//!
+//! The atomic broadcast reduction (Algorithm 1) executes a *sequence* of
+//! consensus instances `k = 1, 2, …`. Processes may be in different
+//! instances at the same time, so the manager:
+//!
+//! * buffers messages for instances this process has not yet proposed in
+//!   (they are flushed when `propose(k, …)` happens),
+//! * routes messages of running instances to their state machine,
+//! * answers messages of already-decided instances with the decision (a
+//!   cheap retransmission path for processes that lost the decide relay),
+//! * fans failure-detector suspicions out to every running instance.
+
+use std::collections::BTreeMap;
+
+use iabc_types::{Duration, ProcessId, ProcessSet};
+
+use crate::msg::{ConsDest, ConsMsg};
+use crate::value::{ConsensusValue, RcvOracle};
+use crate::{ConsEnv, ConsOut, SingleConsensus};
+
+/// Output buffer of manager calls: instance-tagged sends and decisions.
+#[derive(Debug)]
+pub struct MgrOut<V> {
+    /// Messages to send, tagged with their instance number.
+    pub sends: Vec<(u64, ConsDest, ConsMsg<V>)>,
+    /// Instances that decided during this call.
+    pub decisions: Vec<(u64, V)>,
+    /// Accumulated `rcv()` evaluation cost.
+    pub work: Duration,
+}
+
+impl<V> MgrOut<V> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        MgrOut { sends: Vec::new(), decisions: Vec::new(), work: Duration::ZERO }
+    }
+
+    /// Whether nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.decisions.is_empty() && self.work.is_zero()
+    }
+}
+
+impl<V> Default for MgrOut<V> {
+    fn default() -> Self {
+        MgrOut::new()
+    }
+}
+
+enum Slot<V, A> {
+    Running(A),
+    Done(V),
+}
+
+/// Manages the numbered instances of one consensus algorithm type `A`.
+pub struct InstanceManager<V, A> {
+    factory: Box<dyn FnMut(u64) -> A + Send>,
+    slots: BTreeMap<u64, Slot<V, A>>,
+    /// Messages for instances not yet proposed in.
+    pending: BTreeMap<u64, Vec<(ProcessId, ConsMsg<V>)>>,
+    highest_started: u64,
+    /// Instances strictly below this were garbage-collected; their traffic
+    /// is dropped (peers learn decisions from each other's relays).
+    gc_floor: u64,
+}
+
+impl<V, A> std::fmt::Debug for InstanceManager<V, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceManager")
+            .field("instances", &self.slots.len())
+            .field("highest_started", &self.highest_started)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<V: ConsensusValue, A: SingleConsensus<V>> InstanceManager<V, A> {
+    /// Creates a manager that builds instance `k`'s state machine with
+    /// `factory(k)`.
+    pub fn new(factory: impl FnMut(u64) -> A + Send + 'static) -> Self {
+        InstanceManager {
+            factory: Box::new(factory),
+            slots: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            highest_started: 0,
+            gc_floor: 0,
+        }
+    }
+
+    /// Highest instance number proposed in so far (0 = none).
+    pub fn highest_started(&self) -> u64 {
+        self.highest_started
+    }
+
+    /// The decision of instance `k`, if it has decided.
+    pub fn decision(&self, k: u64) -> Option<&V> {
+        match self.slots.get(&k)? {
+            Slot::Done(v) => Some(v),
+            Slot::Running(a) => {
+                debug_assert!(!a.has_decided(), "decided instance still Running");
+                None
+            }
+        }
+    }
+
+    /// Whether instance `k` was proposed in and has not decided yet.
+    pub fn is_running(&self, k: u64) -> bool {
+        matches!(self.slots.get(&k), Some(Slot::Running(_)))
+    }
+
+    /// Proposes in instance `k` (Algorithm 1 line 17), flushing any
+    /// buffered messages for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if instance `k` was already proposed in.
+    pub fn propose(
+        &mut self,
+        k: u64,
+        v: V,
+        rcv: &dyn RcvOracle<V>,
+        suspected: ProcessSet,
+        out: &mut MgrOut<V>,
+    ) {
+        assert!(!self.slots.contains_key(&k), "instance {k} already started");
+        let mut algo = (self.factory)(k);
+        let env = ConsEnv::new(rcv, suspected);
+        let mut local = ConsOut::new();
+        algo.propose(v, &env, &mut local);
+        self.slots.insert(k, Slot::Running(algo));
+        self.absorb(k, local, out);
+        // Flush messages that arrived before we were ready.
+        if let Some(buffered) = self.pending.remove(&k) {
+            for (from, msg) in buffered {
+                self.on_message(k, from, msg, rcv, suspected, out);
+            }
+        }
+        self.highest_started = self.highest_started.max(k);
+    }
+
+    /// Routes a message of instance `k`.
+    pub fn on_message(
+        &mut self,
+        k: u64,
+        from: ProcessId,
+        msg: ConsMsg<V>,
+        rcv: &dyn RcvOracle<V>,
+        suspected: ProcessSet,
+        out: &mut MgrOut<V>,
+    ) {
+        match self.slots.get_mut(&k) {
+            None => {
+                if k < self.gc_floor {
+                    return; // collected long ago; the sender will catch up
+                }
+                // Not started here yet: buffer until Algorithm 1 proposes.
+                self.pending.entry(k).or_default().push((from, msg));
+            }
+            Some(Slot::Done(v)) => {
+                // Help stragglers: answer anything but a Decide with the
+                // decision (the sender is evidently still working on k).
+                if !matches!(msg, ConsMsg::Decide { .. }) {
+                    out.sends.push((k, ConsDest::To(from), ConsMsg::Decide { value: v.clone() }));
+                }
+            }
+            Some(Slot::Running(algo)) => {
+                let env = ConsEnv::new(rcv, suspected);
+                let mut local = ConsOut::new();
+                algo.on_message(from, msg, &env, &mut local);
+                self.absorb(k, local, out);
+            }
+        }
+    }
+
+    /// Fans a new suspicion out to every running instance.
+    pub fn on_suspect(
+        &mut self,
+        p: ProcessId,
+        rcv: &dyn RcvOracle<V>,
+        suspected: ProcessSet,
+        out: &mut MgrOut<V>,
+    ) {
+        let running: Vec<u64> = self
+            .slots
+            .iter()
+            .filter_map(|(k, s)| matches!(s, Slot::Running(_)).then_some(*k))
+            .collect();
+        for k in running {
+            if let Some(Slot::Running(algo)) = self.slots.get_mut(&k) {
+                let env = ConsEnv::new(rcv, suspected);
+                let mut local = ConsOut::new();
+                algo.on_suspect(p, &env, &mut local);
+                self.absorb(k, local, out);
+            }
+        }
+    }
+
+    /// Garbage-collects decided instances strictly below `k`, keeping the
+    /// `keep_last` most recent of them as a retransmission cache for
+    /// stragglers (their `Done` slots answer late messages with the
+    /// decision). Running instances are never collected.
+    ///
+    /// Returns the number of slots freed. The atomic broadcast layer calls
+    /// this as instances complete; in an infinite execution it bounds the
+    /// manager's footprint to `O(keep_last)` decided values plus the live
+    /// instance.
+    pub fn gc_decided_below(&mut self, k: u64, keep_last: u64) -> usize {
+        let cutoff = k.saturating_sub(keep_last);
+        let doomed: Vec<u64> = self
+            .slots
+            .range(..cutoff)
+            .filter_map(|(i, s)| matches!(s, Slot::Done(_)).then_some(*i))
+            .collect();
+        for i in &doomed {
+            self.slots.remove(i);
+            self.pending.remove(i);
+        }
+        self.gc_floor = self.gc_floor.max(cutoff);
+        doomed.len()
+    }
+
+    /// Number of slots currently retained (running + cached decided).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Merges a per-instance output buffer into the manager output,
+    /// transitioning the slot if the instance decided.
+    fn absorb(&mut self, k: u64, local: ConsOut<V>, out: &mut MgrOut<V>) {
+        out.work += local.work;
+        for (dest, msg) in local.sends {
+            out.sends.push((k, dest, msg));
+        }
+        if let Some(v) = local.decision {
+            self.slots.insert(k, Slot::Done(v.clone()));
+            out.decisions.push((k, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ct::CtConsensus;
+    use crate::value::AlwaysHeld;
+    use iabc_types::{IdSet, MsgId};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn ids(seqs: &[u64]) -> IdSet {
+        IdSet::from_ids(seqs.iter().map(|&s| MsgId::new(p(0), s)))
+    }
+
+    fn mgr(me: u16, n: usize) -> InstanceManager<IdSet, CtConsensus<IdSet>> {
+        InstanceManager::new(move |_k| CtConsensus::new(p(me), n))
+    }
+
+    #[test]
+    fn single_node_system_decides_every_instance() {
+        let mut m = mgr(0, 1);
+        let mut out = MgrOut::new();
+        m.propose(1, ids(&[1]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        // n = 1: the proposal loops through self-sends; feed them back.
+        let mut guard = 0;
+        while let Some((k, dest, msg)) = out.sends.pop() {
+            // With n = 1, `Others` expands to nobody.
+            if matches!(dest, ConsDest::Others) {
+                continue;
+            }
+            m.on_message(k, p(0), msg, &AlwaysHeld, ProcessSet::new(), &mut out);
+            guard += 1;
+            assert!(guard < 100);
+        }
+        assert_eq!(m.decision(1), Some(&ids(&[1])));
+        assert!(!m.is_running(1));
+    }
+
+    #[test]
+    fn messages_before_propose_are_buffered_and_flushed() {
+        let mut m = mgr(0, 3);
+        let mut out = MgrOut::new();
+        // A decide for instance 1 arrives before we proposed.
+        m.on_message(
+            1,
+            p(2),
+            ConsMsg::Decide { value: ids(&[9]) },
+            &AlwaysHeld,
+            ProcessSet::new(),
+            &mut out,
+        );
+        assert!(m.decision(1).is_none());
+        assert!(out.is_empty());
+        // Proposing flushes the buffer: we decide instantly.
+        m.propose(1, ids(&[1]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        assert_eq!(m.decision(1), Some(&ids(&[9])));
+        assert_eq!(out.decisions, vec![(1, ids(&[9]))]);
+    }
+
+    #[test]
+    fn done_instances_answer_with_the_decision() {
+        let mut m = mgr(0, 3);
+        let mut out = MgrOut::new();
+        m.propose(1, ids(&[1]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        m.on_message(
+            1,
+            p(2),
+            ConsMsg::Decide { value: ids(&[7]) },
+            &AlwaysHeld,
+            ProcessSet::new(),
+            &mut out,
+        );
+        assert_eq!(m.decision(1), Some(&ids(&[7])));
+        // A straggler's estimate for instance 1 gets the decision back.
+        let mut out = MgrOut::new();
+        m.on_message(
+            1,
+            p(1),
+            ConsMsg::CtEstimate { round: 2, estimate: ids(&[1]), ts: 0 },
+            &AlwaysHeld,
+            ProcessSet::new(),
+            &mut out,
+        );
+        assert_eq!(out.sends.len(), 1);
+        let (k, dest, msg) = &out.sends[0];
+        assert_eq!(*k, 1);
+        assert_eq!(*dest, ConsDest::To(p(1)));
+        assert!(matches!(msg, ConsMsg::Decide { value } if value == &ids(&[7])));
+    }
+
+    #[test]
+    #[should_panic(expected = "instance 1 already started")]
+    fn double_propose_same_instance_panics() {
+        let mut m = mgr(0, 3);
+        let mut out = MgrOut::new();
+        m.propose(1, ids(&[1]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        m.propose(1, ids(&[1]), &AlwaysHeld, ProcessSet::new(), &mut out);
+    }
+
+    #[test]
+    fn suspicions_reach_running_instances_only() {
+        let mut m = mgr(0, 3);
+        let mut out = MgrOut::new();
+        m.propose(1, ids(&[1]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        m.propose(2, ids(&[2]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        // Decide instance 1.
+        m.on_message(
+            1,
+            p(2),
+            ConsMsg::Decide { value: ids(&[1]) },
+            &AlwaysHeld,
+            ProcessSet::new(),
+            &mut out,
+        );
+        // Suspect round-1 coordinator p1: only instance 2 should react
+        // (instance 1 is done). Instance 2 is waiting for p1's proposal.
+        let mut suspected = ProcessSet::new();
+        suspected.insert(p(1));
+        let mut out = MgrOut::new();
+        m.on_suspect(p(1), &AlwaysHeld, suspected, &mut out);
+        assert!(out.sends.iter().all(|(k, _, _)| *k == 2));
+        assert!(out.sends.iter().any(|(_, _, msg)| matches!(msg, ConsMsg::CtNack { .. })));
+    }
+
+    #[test]
+    fn gc_prunes_old_decided_slots_only() {
+        let mut m = mgr(0, 3);
+        let mut out = MgrOut::new();
+        for k in 1..=5u64 {
+            m.propose(k, ids(&[k]), &AlwaysHeld, ProcessSet::new(), &mut out);
+            if k < 5 {
+                // Decide instances 1..4; instance 5 stays running.
+                m.on_message(
+                    k,
+                    p(2),
+                    ConsMsg::Decide { value: ids(&[k]) },
+                    &AlwaysHeld,
+                    ProcessSet::new(),
+                    &mut out,
+                );
+            }
+        }
+        assert_eq!(m.slot_count(), 5);
+        // Keep the 2 most recent decided below 5: instances 3 and 4 stay.
+        let freed = m.gc_decided_below(5, 2);
+        assert_eq!(freed, 2);
+        assert_eq!(m.slot_count(), 3);
+        assert!(m.decision(1).is_none(), "pruned");
+        assert!(m.decision(3).is_some(), "cached");
+        assert!(m.is_running(5), "running instances are never collected");
+        // A straggler asking about a pruned instance is simply buffered
+        // again (it will learn the decision from its own peers' relays).
+        let mut out = MgrOut::new();
+        m.on_message(
+            1,
+            p(1),
+            ConsMsg::CtAck { round: 1 },
+            &AlwaysHeld,
+            ProcessSet::new(),
+            &mut out,
+        );
+        assert!(out.sends.is_empty());
+    }
+
+    #[test]
+    fn highest_started_tracks_proposals() {
+        let mut m = mgr(0, 3);
+        assert_eq!(m.highest_started(), 0);
+        let mut out = MgrOut::new();
+        m.propose(1, ids(&[1]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        m.propose(2, ids(&[2]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        assert_eq!(m.highest_started(), 2);
+    }
+}

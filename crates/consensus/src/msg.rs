@@ -1,0 +1,225 @@
+//! Wire messages of the consensus layer.
+
+use iabc_types::{CodecError, Decode, Encode, ProcessId, WireSize};
+
+/// Destination of a consensus message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsDest {
+    /// A single process.
+    To(ProcessId),
+    /// Every process, **including** the sender (the paper's `send to all`;
+    /// the self-copy travels over the executor loop-back).
+    All,
+    /// Every process except the sender.
+    Others,
+}
+
+/// Messages of all four consensus algorithms over value type `V`.
+///
+/// `Ct*` variants belong to the Chandra–Toueg family (Algorithm 2 and its
+/// original), `Mr*` to the Mostéfaoui–Raynal family (Algorithm 3 and its
+/// original); `Decide` is shared (the R-broadcast decision dissemination).
+/// Rounds are 1-based, matching the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsMsg<V> {
+    /// Phase 1 of CT: a process sends its timestamped estimate to the
+    /// coordinator of round `round` (only for rounds > 1).
+    CtEstimate {
+        /// Round this estimate is for.
+        round: u64,
+        /// The sender's current estimate.
+        estimate: V,
+        /// Last round in which the sender adopted this estimate (0 = initial).
+        ts: u64,
+    },
+    /// Phase 2 of CT: the coordinator's proposal for the round.
+    CtProposal {
+        /// Round of the proposal.
+        round: u64,
+        /// The proposed value (`estimate_c` in Algorithm 2).
+        estimate: V,
+    },
+    /// Phase 3 of CT: positive acknowledgement.
+    CtAck {
+        /// Round being acknowledged.
+        round: u64,
+    },
+    /// Phase 3 of CT: negative acknowledgement (suspicion, or — in the
+    /// indirect algorithm — a failed `rcv` check).
+    CtNack {
+        /// Round being refused.
+        round: u64,
+    },
+    /// Phase 1 of MR: the coordinator's estimate broadcast.
+    MrPhase1 {
+        /// Round of the broadcast.
+        round: u64,
+        /// The coordinator's estimate.
+        estimate: V,
+    },
+    /// Phase 2 of MR: each process echoes the value it took from the
+    /// coordinator — `None` encodes ⊥ (suspicion, or — in the indirect
+    /// algorithm — a failed `rcv` check).
+    MrPhase2 {
+        /// Round of the echo.
+        round: u64,
+        /// The echoed estimate, or ⊥.
+        est: Option<V>,
+    },
+    /// R-broadcast decision notification (relayed on first receipt).
+    Decide {
+        /// The decided value.
+        value: V,
+    },
+}
+
+impl<V> ConsMsg<V> {
+    /// The round this message belongs to (`None` for `Decide`, which is
+    /// round-independent).
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            ConsMsg::CtEstimate { round, .. }
+            | ConsMsg::CtProposal { round, .. }
+            | ConsMsg::CtAck { round }
+            | ConsMsg::CtNack { round }
+            | ConsMsg::MrPhase1 { round, .. }
+            | ConsMsg::MrPhase2 { round, .. } => Some(*round),
+            ConsMsg::Decide { .. } => None,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            ConsMsg::CtEstimate { .. } => 0,
+            ConsMsg::CtProposal { .. } => 1,
+            ConsMsg::CtAck { .. } => 2,
+            ConsMsg::CtNack { .. } => 3,
+            ConsMsg::MrPhase1 { .. } => 4,
+            ConsMsg::MrPhase2 { .. } => 5,
+            ConsMsg::Decide { .. } => 6,
+        }
+    }
+}
+
+impl<V: WireSize> WireSize for ConsMsg<V> {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            ConsMsg::CtEstimate { estimate, .. } => 8 + 8 + estimate.wire_size(),
+            ConsMsg::CtProposal { estimate, .. } => 8 + estimate.wire_size(),
+            ConsMsg::CtAck { .. } | ConsMsg::CtNack { .. } => 8,
+            ConsMsg::MrPhase1 { estimate, .. } => 8 + estimate.wire_size(),
+            ConsMsg::MrPhase2 { est, .. } => 8 + est.wire_size(),
+            ConsMsg::Decide { value } => value.wire_size(),
+        }
+    }
+}
+
+impl<V: Encode> Encode for ConsMsg<V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(self.tag());
+        match self {
+            ConsMsg::CtEstimate { round, estimate, ts } => {
+                round.encode(buf);
+                ts.encode(buf);
+                estimate.encode(buf);
+            }
+            ConsMsg::CtProposal { round, estimate } => {
+                round.encode(buf);
+                estimate.encode(buf);
+            }
+            ConsMsg::CtAck { round } | ConsMsg::CtNack { round } => round.encode(buf),
+            ConsMsg::MrPhase1 { round, estimate } => {
+                round.encode(buf);
+                estimate.encode(buf);
+            }
+            ConsMsg::MrPhase2 { round, est } => {
+                round.encode(buf);
+                est.encode(buf);
+            }
+            ConsMsg::Decide { value } => value.encode(buf),
+        }
+    }
+}
+
+impl<V: Decode + WireSize> Decode for ConsMsg<V> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            0 => {
+                let round = u64::decode(buf)?;
+                let ts = u64::decode(buf)?;
+                let estimate = V::decode(buf)?;
+                ConsMsg::CtEstimate { round, estimate, ts }
+            }
+            1 => {
+                let round = u64::decode(buf)?;
+                let estimate = V::decode(buf)?;
+                ConsMsg::CtProposal { round, estimate }
+            }
+            2 => ConsMsg::CtAck { round: u64::decode(buf)? },
+            3 => ConsMsg::CtNack { round: u64::decode(buf)? },
+            4 => {
+                let round = u64::decode(buf)?;
+                let estimate = V::decode(buf)?;
+                ConsMsg::MrPhase1 { round, estimate }
+            }
+            5 => {
+                let round = u64::decode(buf)?;
+                let est = Option::<V>::decode(buf)?;
+                ConsMsg::MrPhase2 { round, est }
+            }
+            6 => ConsMsg::Decide { value: V::decode(buf)? },
+            t => return Err(CodecError::InvalidTag { tag: t, context: "ConsMsg" }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_types::wire::roundtrip;
+    use iabc_types::{IdSet, MsgId};
+
+    fn ids() -> IdSet {
+        IdSet::from_ids((0..4).map(|s| MsgId::new(ProcessId::new(1), s)))
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let msgs: Vec<ConsMsg<IdSet>> = vec![
+            ConsMsg::CtEstimate { round: 3, estimate: ids(), ts: 2 },
+            ConsMsg::CtProposal { round: 3, estimate: ids() },
+            ConsMsg::CtAck { round: 3 },
+            ConsMsg::CtNack { round: 9 },
+            ConsMsg::MrPhase1 { round: 1, estimate: ids() },
+            ConsMsg::MrPhase2 { round: 1, est: Some(ids()) },
+            ConsMsg::MrPhase2 { round: 2, est: None },
+            ConsMsg::Decide { value: ids() },
+        ];
+        for m in msgs {
+            assert_eq!(roundtrip(&m).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn round_accessor() {
+        let m: ConsMsg<IdSet> = ConsMsg::CtAck { round: 5 };
+        assert_eq!(m.round(), Some(5));
+        let d: ConsMsg<IdSet> = ConsMsg::Decide { value: ids() };
+        assert_eq!(d.round(), None);
+    }
+
+    #[test]
+    fn id_messages_are_small_and_payload_independent() {
+        // The heart of the paper: consensus traffic on identifiers is tiny
+        // and does not grow with application payload size.
+        let m: ConsMsg<IdSet> = ConsMsg::CtProposal { round: 1, estimate: ids() };
+        assert!(m.wire_size() < 64, "got {}", m.wire_size());
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut buf: &[u8] = &[42, 0, 0];
+        assert!(ConsMsg::<IdSet>::decode(&mut buf).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Consensus values and the `rcv` oracle.
+
+use std::fmt;
+
+use iabc_types::{Duration, IdSet, WireSize};
+
+/// A value that consensus can decide on.
+///
+/// The paper's two instantiations are:
+/// * sets of **full messages** (the classic reduction — heavyweight), and
+/// * sets of **message identifiers** (indirect consensus — 10 bytes/id).
+///
+/// Blanket-implemented for every `Clone + Eq + Debug + WireSize` type.
+pub trait ConsensusValue: Clone + Eq + fmt::Debug + WireSize {}
+
+impl<T: Clone + Eq + fmt::Debug + WireSize> ConsensusValue for T {}
+
+/// The paper's `rcv` function (Algorithm 1 lines 9–10): given a proposal
+/// `v`, reports whether this process currently holds all of `msgs(v)`.
+///
+/// Indirect consensus algorithms consult the oracle before adopting any
+/// estimate; that check is what turns v-valence into v-stability and makes
+/// the *No loss* property hold. The oracle also reports the (simulated) CPU
+/// cost of each evaluation, which the paper identifies as the overhead of
+/// indirect consensus over the faulty direct implementation (Figure 3).
+///
+/// **Hypothesis A** (required for Termination): if `rcv(v)` holds at a
+/// correct process, it must eventually hold at every correct process. The
+/// atomic broadcast reduction satisfies it by construction because payloads
+/// travel by reliable broadcast.
+pub trait RcvOracle<V>: fmt::Debug {
+    /// `rcv(v)`: whether all messages identified by `v` are held locally.
+    fn rcv(&self, v: &V) -> bool;
+
+    /// Simulated CPU cost of evaluating `rcv(v)` (default: free).
+    fn cost(&self, v: &V) -> Duration {
+        let _ = v;
+        Duration::ZERO
+    }
+}
+
+/// The trivial oracle: everything is always held, at zero cost.
+///
+/// This is what the *direct* consensus algorithms run with — either
+/// legitimately (consensus on full messages: the value **is** the payload)
+/// or illegitimately (the faulty consensus-on-identifiers baseline of
+/// §2.2, which skips the check it ought to perform).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysHeld;
+
+impl<V> RcvOracle<V> for AlwaysHeld {
+    fn rcv(&self, _v: &V) -> bool {
+        true
+    }
+}
+
+/// Convenience oracle over an [`IdSet`] of held identifiers with a linear
+/// per-identifier evaluation cost. Used by tests and by the atomic
+/// broadcast stacks (which wrap their received-message store).
+#[derive(Debug, Clone, Default)]
+pub struct HeldIds {
+    /// Identifiers currently held.
+    pub held: IdSet,
+    /// CPU cost per identifier checked.
+    pub cost_per_id: Duration,
+}
+
+impl RcvOracle<IdSet> for HeldIds {
+    fn rcv(&self, v: &IdSet) -> bool {
+        v.iter().all(|id| self.held.contains(id))
+    }
+
+    fn cost(&self, v: &IdSet) -> Duration {
+        self.cost_per_id * v.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_types::{MsgId, ProcessId};
+
+    fn id(p: u16, s: u64) -> MsgId {
+        MsgId::new(ProcessId::new(p), s)
+    }
+
+    #[test]
+    fn always_held_is_true_and_free() {
+        let oracle = AlwaysHeld;
+        let v = IdSet::from_ids(vec![id(0, 0)]);
+        assert!(oracle.rcv(&v));
+        assert_eq!(RcvOracle::cost(&oracle, &v), Duration::ZERO);
+    }
+
+    #[test]
+    fn held_ids_checks_subset() {
+        let oracle = HeldIds {
+            held: IdSet::from_ids(vec![id(0, 0), id(1, 1)]),
+            cost_per_id: Duration::from_micros(2),
+        };
+        assert!(oracle.rcv(&IdSet::from_ids(vec![id(0, 0)])));
+        assert!(oracle.rcv(&IdSet::from_ids(vec![id(0, 0), id(1, 1)])));
+        assert!(!oracle.rcv(&IdSet::from_ids(vec![id(2, 0)])));
+        assert!(oracle.rcv(&IdSet::new())); // vacuous
+    }
+
+    #[test]
+    fn held_ids_cost_is_linear() {
+        let oracle = HeldIds { held: IdSet::new(), cost_per_id: Duration::from_micros(3) };
+        let v = IdSet::from_ids((0..5).map(|s| id(0, s)));
+        assert_eq!(oracle.cost(&v), Duration::from_micros(15));
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests of the four consensus algorithms under randomized
+//! asynchronous schedules, crashes and suspicion patterns.
+//!
+//! The key property checked for the indirect algorithms is the paper's
+//! **No loss**: whenever a decision `v` is reached, the live processes hold
+//! `msgs(v)` — even when crashed processes *poison* the run by proposing
+//! values only they hold (the §2.2 pattern), with the delivery schedule
+//! chosen adversarially at random.
+//!
+//! Termination is only asserted under the paper's **Hypothesis A** (if
+//! `rcv(v)` holds at a correct process it eventually holds at all correct
+//! processes); we satisfy it the simple way, by giving all live processes
+//! the same held set. A dedicated test documents what happens when
+//! Hypothesis A is dropped: the indirect algorithm may honestly never
+//! terminate — exactly the conditional Termination of the paper's
+//! specification.
+
+use iabc_consensus::testing::LoopNet;
+use iabc_consensus::value::{HeldIds, RcvOracle};
+use iabc_consensus::{CtConsensus, CtIndirect, MrConsensus, MrIndirect, SingleConsensus};
+use iabc_types::{quorum, Duration, IdSet, MsgId, ProcessId};
+use proptest::prelude::*;
+
+fn ids(seqs: &[u64]) -> IdSet {
+    IdSet::from_ids(seqs.iter().map(|&s| MsgId::new(ProcessId::new(0), s)))
+}
+
+fn held_oracle(seqs: &[u64]) -> Box<dyn RcvOracle<IdSet>> {
+    Box::new(HeldIds { held: ids(seqs), cost_per_id: Duration::ZERO })
+}
+
+/// A randomized single-instance scenario.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    /// The set all live processes hold (Hypothesis A holds trivially).
+    common_held: Vec<u64>,
+    /// Per-live-process proposal subset sizes.
+    proposal_len: Vec<usize>,
+    /// Crashing processes: they propose a *poison* value only they hold,
+    /// then crash (crash-after-send).
+    crashed: Vec<usize>,
+    /// Schedule seed.
+    seed: u64,
+}
+
+fn scenario(n: usize, max_f: usize) -> impl Strategy<Value = Scenario> {
+    let common_held = proptest::collection::vec(0u64..16, 1..6);
+    let plen = proptest::collection::vec(1usize..5, n..=n);
+    let crashed = proptest::collection::vec(0usize..n, 0..=max_f);
+    (common_held, plen, crashed, any::<u64>()).prop_map(
+        move |(common_held, proposal_len, crashed, seed)| {
+            let mut crashed: Vec<usize> = crashed;
+            crashed.sort_unstable();
+            crashed.dedup();
+            crashed.truncate(max_f);
+            Scenario { n, common_held, proposal_len, crashed, seed }
+        },
+    )
+}
+
+/// Poison ids held only by crashed process `i`.
+fn poison(i: usize) -> Vec<u64> {
+    vec![200 + i as u64, 300 + i as u64]
+}
+
+fn live_proposal(s: &Scenario, i: usize) -> IdSet {
+    let take = s.proposal_len[i].min(s.common_held.len()).max(1);
+    ids(&s.common_held[..take])
+}
+
+/// Runs a scenario; checks agreement (built into LoopNet), validity,
+/// termination of live processes, and — when `check_no_loss` — that the
+/// decision is held by the live processes (No loss).
+fn run_scenario<A: SingleConsensus<IdSet>>(
+    s: &Scenario,
+    make: impl Fn(ProcessId, usize) -> A,
+    check_no_loss: bool,
+) -> Result<(), TestCaseError> {
+    let n = s.n;
+    let mut net = LoopNet::new(n, |q| make(q, n), || held_oracle(&[]));
+    let mut proposals: Vec<IdSet> = Vec::with_capacity(n);
+    for i in 0..n {
+        if s.crashed.contains(&i) {
+            // The doomed process holds the common set plus its poison, and
+            // proposes the poison — the §2.2 pattern.
+            let mut all = s.common_held.clone();
+            all.extend(poison(i));
+            net.set_oracle(ProcessId::new(i as u16), held_oracle(&all));
+            proposals.push(ids(&poison(i)));
+        } else {
+            net.set_oracle(ProcessId::new(i as u16), held_oracle(&s.common_held));
+            proposals.push(live_proposal(s, i));
+        }
+    }
+    for i in 0..n {
+        net.propose(ProcessId::new(i as u16), proposals[i].clone());
+    }
+    // Crash-after-send: messages already queued still deliver.
+    for &c in &s.crashed {
+        net.crash(ProcessId::new(c as u16));
+    }
+    net.run_random(s.seed);
+    // ◇S completeness: everyone eventually suspects the crashed processes.
+    for i in 0..n {
+        for &c in &s.crashed {
+            if i != c {
+                net.suspect_at(ProcessId::new(i as u16), ProcessId::new(c as u16));
+            }
+        }
+    }
+    net.run_random(s.seed.wrapping_add(1));
+
+    // Termination: all live processes decide (Hypothesis A holds because
+    // live processes share the held set).
+    for i in 0..n {
+        if !s.crashed.contains(&i) {
+            prop_assert!(net.algos[i].has_decided(), "p{i} undecided");
+        }
+    }
+    let decision = net.common_decision();
+
+    // Uniform validity: the decision was proposed by someone.
+    prop_assert!(
+        proposals.iter().any(|p| p == &decision),
+        "decision {decision:?} was never proposed"
+    );
+
+    if check_no_loss {
+        // No loss: the live processes hold msgs(decision) — the poison of a
+        // crashed proposer must never survive.
+        let live_holds = HeldIds { held: ids(&s.common_held), cost_per_id: Duration::ZERO };
+        prop_assert!(
+            live_holds.rcv(&decision),
+            "No loss violated: decision {decision:?} not held by live processes"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Indirect CT: agreement + validity + termination + No loss, with up
+    /// to f < n/2 crash-after-propose poisoners, n = 3.
+    #[test]
+    fn ct_indirect_no_loss_n3(s in scenario(3, quorum::max_faults_majority(3))) {
+        run_scenario(&s, |q, n| CtIndirect::<IdSet>::with_coord_offset(q, n, 0), true)?;
+    }
+
+    /// Indirect CT at n = 5 with up to two poisoners.
+    #[test]
+    fn ct_indirect_no_loss_n5(s in scenario(5, quorum::max_faults_majority(5))) {
+        run_scenario(&s, |q, n| CtIndirect::<IdSet>::with_coord_offset(q, n, 0), true)?;
+    }
+
+    /// Indirect MR within its f < n/3 bound (n = 4, one poisoner).
+    #[test]
+    fn mr_indirect_no_loss_n4(s in scenario(4, quorum::max_faults_third(4))) {
+        run_scenario(&s, |q, n| MrIndirect::<IdSet>::with_coord_offset(q, n, 0), true)?;
+    }
+
+    /// Indirect MR at n = 7 with up to two poisoners.
+    #[test]
+    fn mr_indirect_no_loss_n7(s in scenario(7, quorum::max_faults_third(7))) {
+        run_scenario(&s, |q, n| MrIndirect::<IdSet>::with_coord_offset(q, n, 0), true)?;
+    }
+
+    /// The original CT keeps agreement/validity under the same adversarial
+    /// schedules — but makes no No-loss promise (it may well decide the
+    /// poison; that is the §2.2 bug).
+    #[test]
+    fn ct_original_agreement_n3(s in scenario(3, quorum::max_faults_majority(3))) {
+        run_scenario(&s, |q, n| CtConsensus::<IdSet>::with_coord_offset(q, n, 0), false)?;
+    }
+
+    /// Same for the original MR.
+    #[test]
+    fn mr_original_agreement_n3(s in scenario(3, quorum::max_faults_majority(3))) {
+        run_scenario(&s, |q, n| MrConsensus::<IdSet>::with_coord_offset(q, n, 0), false)?;
+    }
+
+    /// Fault-free runs decide under arbitrary delivery interleavings, for
+    /// all four algorithms.
+    #[test]
+    fn all_algorithms_decide_fault_free(s in scenario(4, 0)) {
+        run_scenario(&s, |q, n| CtConsensus::<IdSet>::with_coord_offset(q, n, 0), false)?;
+        run_scenario(&s, |q, n| CtIndirect::<IdSet>::with_coord_offset(q, n, 0), true)?;
+        run_scenario(&s, |q, n| MrConsensus::<IdSet>::with_coord_offset(q, n, 0), false)?;
+        run_scenario(&s, |q, n| MrIndirect::<IdSet>::with_coord_offset(q, n, 0), true)?;
+    }
+
+    /// Coordinator-offset rotation must not affect correctness.
+    #[test]
+    fn coord_offsets_preserve_correctness(
+        s in scenario(3, 1),
+        offset in 0u64..17,
+    ) {
+        run_scenario(&s, |q, n| CtIndirect::<IdSet>::with_coord_offset(q, n, offset), true)?;
+    }
+}
+
+/// Without Hypothesis A the indirect algorithm's Termination is void — and
+/// our implementation honestly exhibits that: two live processes with
+/// permanently disjoint held sets can nack each other's proposals forever.
+/// This test documents the behaviour (bounded round churn, no decision, no
+/// safety violation) rather than asserting termination.
+#[test]
+fn without_hypothesis_a_termination_is_conditional() {
+    let n = 3;
+    let mut net =
+        LoopNet::new(n, |q| CtIndirect::<IdSet>::with_coord_offset(q, n, 0), || held_oracle(&[]));
+    net.set_oracle(ProcessId::new(1), held_oracle(&[0]));
+    net.set_oracle(ProcessId::new(2), held_oracle(&[1]));
+    net.crash(ProcessId::new(0));
+    net.propose(ProcessId::new(1), ids(&[0]));
+    net.propose(ProcessId::new(2), ids(&[1]));
+    net.run(); // FIFO drain: stalls in a round coordinated by the dead p0
+    net.suspect_at(ProcessId::new(1), ProcessId::new(0));
+    net.suspect_at(ProcessId::new(2), ProcessId::new(0));
+    // Drive a bounded number of deliveries: rounds churn (each proposal is
+    // nacked by the process that lacks its messages) without ever deciding
+    // — and without ever deciding *wrongly*.
+    let mut steps = 0;
+    while net.queue_len() > 0 && steps < 5_000 {
+        let (from, to, msg) = net.pop_front().expect("nonempty");
+        net.deliver_one(from, to, msg);
+        steps += 1;
+    }
+    assert!(!net.algos[1].has_decided(), "no decidable value exists");
+    assert!(!net.algos[2].has_decided(), "no decidable value exists");
+    assert!(steps > 100, "rounds should churn while rcv never stabilizes");
+}

@@ -1,0 +1,319 @@
+//! Runtime verification of the atomic broadcast properties.
+//!
+//! [`AbcastChecker`] consumes the [`AbcastEvent`] streams of all processes
+//! and checks the four properties of (uniform) atomic broadcast from §2.1
+//! of the paper. Integration and property tests feed it entire simulated
+//! executions — including executions designed to *fail* (the §2.2
+//! counterexample), where the checker must report the violation.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use iabc_types::{MsgId, ProcessId};
+
+use crate::AbcastEvent;
+
+/// A violation of an atomic broadcast property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Uniform integrity: a process a-delivered the same message twice.
+    DuplicateDelivery {
+        /// The offending process.
+        process: ProcessId,
+        /// The doubly-delivered identifier.
+        id: MsgId,
+    },
+    /// Uniform integrity: a process a-delivered a message that was never
+    /// a-broadcast.
+    DeliveredUnknown {
+        /// The offending process.
+        process: ProcessId,
+        /// The unknown identifier.
+        id: MsgId,
+    },
+    /// Uniform total order: two delivery sequences are not
+    /// prefix-compatible.
+    OrderViolation {
+        /// First process.
+        a: ProcessId,
+        /// Second process.
+        b: ProcessId,
+        /// Position of the first disagreement.
+        position: usize,
+    },
+    /// Uniform agreement: a message delivered somewhere was not delivered
+    /// by a correct process (checked at end of run).
+    AgreementViolation {
+        /// The identifier in question.
+        id: MsgId,
+        /// The correct process that missed it.
+        missing_at: ProcessId,
+    },
+    /// Validity: a correct process a-broadcast a message that some correct
+    /// process never a-delivered (checked at end of run).
+    ValidityViolation {
+        /// The identifier in question.
+        id: MsgId,
+        /// The correct process that never delivered it.
+        missing_at: ProcessId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateDelivery { process, id } => {
+                write!(f, "uniform integrity: {process} delivered {id} twice")
+            }
+            Violation::DeliveredUnknown { process, id } => {
+                write!(f, "uniform integrity: {process} delivered unknown message {id}")
+            }
+            Violation::OrderViolation { a, b, position } => {
+                write!(f, "uniform total order: {a} and {b} disagree at position {position}")
+            }
+            Violation::AgreementViolation { id, missing_at } => {
+                write!(f, "uniform agreement: {id} delivered somewhere but not at {missing_at}")
+            }
+            Violation::ValidityViolation { id, missing_at } => {
+                write!(f, "validity: {id} broadcast by a correct process, never delivered at {missing_at}")
+            }
+        }
+    }
+}
+
+/// Collects per-process a-broadcast/a-deliver histories and checks the
+/// atomic broadcast specification over them.
+#[derive(Debug)]
+pub struct AbcastChecker {
+    n: usize,
+    /// id → broadcaster.
+    broadcast_by: HashMap<MsgId, ProcessId>,
+    /// Per-process delivery sequence.
+    sequences: Vec<Vec<MsgId>>,
+    /// Per-process delivered set (duplicate detection).
+    delivered: Vec<HashSet<MsgId>>,
+    /// Violations detected during recording.
+    immediate: Vec<Violation>,
+}
+
+impl AbcastChecker {
+    /// Creates a checker for an `n`-process system.
+    pub fn new(n: usize) -> Self {
+        AbcastChecker {
+            n,
+            broadcast_by: HashMap::new(),
+            sequences: vec![Vec::new(); n],
+            delivered: vec![HashSet::new(); n],
+            immediate: Vec::new(),
+        }
+    }
+
+    /// Records one event observed at `process`.
+    pub fn record(&mut self, process: ProcessId, event: &AbcastEvent) {
+        let i = process.as_usize();
+        match event {
+            AbcastEvent::Broadcast { id } => {
+                self.broadcast_by.insert(*id, process);
+            }
+            AbcastEvent::Delivered { msg } => {
+                let id = msg.id();
+                if !self.delivered[i].insert(id) {
+                    self.immediate.push(Violation::DuplicateDelivery { process, id });
+                    return;
+                }
+                if !self.broadcast_by.contains_key(&id) {
+                    // Note: Broadcast events are recorded at command time,
+                    // strictly before any delivery of that id can occur, so
+                    // recording order suffices.
+                    self.immediate.push(Violation::DeliveredUnknown { process, id });
+                }
+                self.sequences[i].push(id);
+            }
+        }
+    }
+
+    /// The delivery sequence of each process.
+    pub fn sequences(&self) -> &[Vec<MsgId>] {
+        &self.sequences
+    }
+
+    /// Safety check, valid at *any* point of a run: Uniform integrity and
+    /// Uniform total order (all delivery sequences must be
+    /// prefix-compatible).
+    pub fn check_safety(&self) -> Vec<Violation> {
+        let mut v = self.immediate.clone();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                let (sa, sb) = (&self.sequences[a], &self.sequences[b]);
+                let common = sa.len().min(sb.len());
+                if let Some(pos) = (0..common).find(|&i| sa[i] != sb[i]) {
+                    v.push(Violation::OrderViolation {
+                        a: ProcessId::new(a as u16),
+                        b: ProcessId::new(b as u16),
+                        position: pos,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// End-of-run check (requires the run to have quiesced): safety plus
+    /// Uniform agreement and Validity with respect to the processes marked
+    /// correct in `crashed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crashed.len() != n`.
+    pub fn check_complete(&self, crashed: &[bool]) -> Vec<Violation> {
+        assert_eq!(crashed.len(), self.n, "crashed flags must cover all processes");
+        let mut v = self.check_safety();
+
+        // Uniform agreement: anything delivered anywhere must be delivered
+        // at every correct process.
+        let mut delivered_anywhere: HashSet<MsgId> = HashSet::new();
+        for set in &self.delivered {
+            delivered_anywhere.extend(set.iter().copied());
+        }
+        for id in &delivered_anywhere {
+            for q in 0..self.n {
+                if !crashed[q] && !self.delivered[q].contains(id) {
+                    v.push(Violation::AgreementViolation {
+                        id: *id,
+                        missing_at: ProcessId::new(q as u16),
+                    });
+                }
+            }
+        }
+
+        // Validity: everything broadcast by a correct process must be
+        // delivered at every correct process.
+        for (id, broadcaster) in &self.broadcast_by {
+            if crashed[broadcaster.as_usize()] {
+                continue;
+            }
+            for q in 0..self.n {
+                if !crashed[q] && !self.delivered[q].contains(id) {
+                    v.push(Violation::ValidityViolation {
+                        id: *id,
+                        missing_at: ProcessId::new(q as u16),
+                    });
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_types::{AppMessage, Payload, Time};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn id(sender: u16, seq: u64) -> MsgId {
+        MsgId::new(p(sender), seq)
+    }
+
+    fn bcast(sender: u16, seq: u64) -> AbcastEvent {
+        AbcastEvent::Broadcast { id: id(sender, seq) }
+    }
+
+    fn deliver(sender: u16, seq: u64) -> AbcastEvent {
+        AbcastEvent::Delivered {
+            msg: AppMessage::new(id(sender, seq), Payload::zeroed(1), Time::ZERO),
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let mut c = AbcastChecker::new(2);
+        c.record(p(0), &bcast(0, 0));
+        c.record(p(1), &bcast(1, 0));
+        for q in 0..2 {
+            c.record(p(q), &deliver(0, 0));
+            c.record(p(q), &deliver(1, 0));
+        }
+        assert!(c.check_safety().is_empty());
+        assert!(c.check_complete(&[false, false]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_delivery_is_flagged() {
+        let mut c = AbcastChecker::new(1);
+        c.record(p(0), &bcast(0, 0));
+        c.record(p(0), &deliver(0, 0));
+        c.record(p(0), &deliver(0, 0));
+        let v = c.check_safety();
+        assert!(matches!(v[0], Violation::DuplicateDelivery { .. }));
+    }
+
+    #[test]
+    fn unknown_delivery_is_flagged() {
+        let mut c = AbcastChecker::new(1);
+        c.record(p(0), &deliver(5, 5));
+        assert!(matches!(c.check_safety()[0], Violation::DeliveredUnknown { .. }));
+    }
+
+    #[test]
+    fn order_violation_is_flagged() {
+        let mut c = AbcastChecker::new(2);
+        c.record(p(0), &bcast(0, 0));
+        c.record(p(0), &bcast(0, 1));
+        c.record(p(0), &deliver(0, 0));
+        c.record(p(0), &deliver(0, 1));
+        c.record(p(1), &deliver(0, 1));
+        c.record(p(1), &deliver(0, 0));
+        let v = c.check_safety();
+        assert!(v.iter().any(|x| matches!(x, Violation::OrderViolation { position: 0, .. })));
+    }
+
+    #[test]
+    fn prefix_sequences_are_fine() {
+        let mut c = AbcastChecker::new(2);
+        c.record(p(0), &bcast(0, 0));
+        c.record(p(0), &bcast(0, 1));
+        c.record(p(0), &deliver(0, 0));
+        c.record(p(0), &deliver(0, 1));
+        c.record(p(1), &deliver(0, 0)); // p1 is simply behind
+        assert!(c.check_safety().is_empty());
+    }
+
+    #[test]
+    fn agreement_violation_against_correct_process() {
+        let mut c = AbcastChecker::new(2);
+        c.record(p(0), &bcast(0, 0));
+        c.record(p(0), &deliver(0, 0));
+        // p1 (correct) never delivers.
+        let v = c.check_complete(&[false, false]);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::AgreementViolation { missing_at, .. } if *missing_at == p(1)
+        )));
+        // If p1 crashed, there is no agreement obligation (p0 delivered and
+        // p0 is correct — only correct processes owe deliveries).
+        let v = c.check_complete(&[false, true]);
+        assert!(v.iter().all(|x| !matches!(x, Violation::AgreementViolation { .. })));
+    }
+
+    #[test]
+    fn validity_violation_only_for_correct_broadcasters() {
+        let mut c = AbcastChecker::new(2);
+        c.record(p(0), &bcast(0, 0));
+        // Nobody delivers.
+        let v = c.check_complete(&[false, false]);
+        assert!(v.iter().any(|x| matches!(x, Violation::ValidityViolation { .. })));
+        // If the broadcaster crashed, validity does not apply.
+        let v = c.check_complete(&[true, false]);
+        assert!(v.iter().all(|x| !matches!(x, Violation::ValidityViolation { .. })));
+    }
+
+    #[test]
+    fn violations_display_nonempty() {
+        let v = Violation::DuplicateDelivery { process: p(0), id: id(0, 0) };
+        assert!(!v.to_string().is_empty());
+    }
+}

@@ -1,0 +1,505 @@
+//! The composed atomic broadcast node (Algorithm 1 of the paper).
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+use iabc_broadcast::{BcastDest, BcastOut, Broadcast};
+use iabc_consensus::{ConsDest, InstanceManager, MgrOut, RcvOracle, SingleConsensus};
+use iabc_fd::{FailureDetector, FdDest, FdEvent, FdOut};
+use iabc_runtime::{Context, Node, TimerId};
+use iabc_types::{AppMessage, Duration, IdSet, MsgId, ProcessId, ProcessSet};
+
+use crate::envelope::Envelope;
+use crate::msgset::MsgSet;
+use crate::store::{CostModel, ReceivedStore};
+use crate::{AbcastCommand, AbcastEvent};
+
+/// Timer-id kind reserved for the failure detector.
+const TIMER_FD: u32 = 1;
+
+/// How many decided consensus instances to keep as a straggler
+/// retransmission cache before garbage collection (see
+/// [`InstanceManager::gc_decided_below`]).
+const KEEP_DECIDED_INSTANCES: u64 = 8;
+
+/// A value type the atomic broadcast reduction can order by.
+///
+/// Implemented by [`IdSet`] (identifier-based stacks: indirect, faulty,
+/// URB) and [`MsgSet`] (the classic full-message reduction). The node
+/// manipulates proposals and decisions exclusively through this interface,
+/// so one `AbcastNode` implementation covers all four stacks.
+pub trait OrderingValue: iabc_consensus::ConsensusValue + Send {
+    /// Builds the proposal for the next consensus instance from the
+    /// currently unordered identifiers (Algorithm 1 line 17).
+    fn from_unordered(unordered: &IdSet, store: &ReceivedStore) -> Self;
+
+    /// The identifiers contained in this value, in deterministic order
+    /// (Algorithm 1 line 20).
+    fn ids(&self) -> IdSet;
+
+    /// Number of identifiers (for cost accounting).
+    fn id_count(&self) -> usize;
+
+    /// The `rcv` check: whether all messages identified by this value are
+    /// in `store`.
+    fn held_in(&self, store: &ReceivedStore) -> bool;
+
+    /// Adds any payloads carried *inside* the value to the store (only
+    /// full-message sets carry payloads).
+    fn store_payloads(&self, store: &mut ReceivedStore);
+}
+
+impl OrderingValue for IdSet {
+    fn from_unordered(unordered: &IdSet, _store: &ReceivedStore) -> Self {
+        unordered.clone()
+    }
+
+    fn ids(&self) -> IdSet {
+        self.clone()
+    }
+
+    fn id_count(&self) -> usize {
+        self.len()
+    }
+
+    fn held_in(&self, store: &ReceivedStore) -> bool {
+        self.iter().all(|id| store.contains(id))
+    }
+
+    fn store_payloads(&self, _store: &mut ReceivedStore) {}
+}
+
+impl OrderingValue for MsgSet {
+    fn from_unordered(unordered: &IdSet, store: &ReceivedStore) -> Self {
+        MsgSet::from_msgs(unordered.iter().map(|id| {
+            store
+                .get(id)
+                .expect("unordered ids always have payloads in the store")
+                .clone()
+        }))
+    }
+
+    fn ids(&self) -> IdSet {
+        MsgSet::ids(self)
+    }
+
+    fn id_count(&self) -> usize {
+        self.len()
+    }
+
+    fn held_in(&self, _store: &ReceivedStore) -> bool {
+        true // the value carries its own payloads
+    }
+
+    fn store_payloads(&self, store: &mut ReceivedStore) {
+        for m in self.iter() {
+            store.insert(m.clone());
+        }
+    }
+}
+
+/// The node's `rcv` oracle: a view over its received-message store.
+///
+/// For the *faulty* and *direct* stacks `check_store` is false and the
+/// oracle degenerates to "always true, free" — exactly the unchecked
+/// behaviour the paper warns about in §2.2.
+#[derive(Debug)]
+struct NodeOracle<'a> {
+    store: &'a ReceivedStore,
+    check_store: bool,
+    cost_per_id: Duration,
+}
+
+impl<'a, V: OrderingValue> RcvOracle<V> for NodeOracle<'a> {
+    fn rcv(&self, v: &V) -> bool {
+        !self.check_store || v.held_in(self.store)
+    }
+
+    fn cost(&self, v: &V) -> Duration {
+        if self.check_store {
+            self.cost_per_id * v.id_count() as u64
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+/// One process of an atomic broadcast system: reliable (or uniform
+/// reliable) broadcast below, a sequence of consensus instances above,
+/// a failure detector on the side — composed exactly as Algorithm 1
+/// prescribes.
+///
+/// Construct nodes through the [`crate::stacks`] functions, which pick the
+/// broadcast module, the consensus algorithm, and the oracle mode for each
+/// of the paper's four stack variants.
+pub struct AbcastNode<V: OrderingValue, A: SingleConsensus<V>> {
+    me: ProcessId,
+    n: usize,
+    bcast: Box<dyn Broadcast + Send>,
+    fd: Box<dyn FailureDetector + Send>,
+    mgr: InstanceManager<V, A>,
+    /// `received_p`.
+    store: ReceivedStore,
+    /// `unordered_p`.
+    unordered: IdSet,
+    /// `ordered_p`: ordered, not yet delivered.
+    ordered: VecDeque<MsgId>,
+    /// Every identifier ever ordered (line 13's membership test must cover
+    /// already-delivered ids too).
+    ordered_ever: HashSet<MsgId>,
+    /// Current failure-detector output.
+    suspected: ProcessSet,
+    /// Whether the oracle really checks the store (`false` = faulty/direct).
+    check_store: bool,
+    cost: CostModel,
+    /// Serial number of the latest consensus instance (line 6).
+    k: u64,
+    /// Whether instance `k` is still running.
+    running: bool,
+    /// Sequence number for this process's own broadcasts.
+    next_seq: u64,
+    delivered_count: u64,
+}
+
+impl<V: OrderingValue, A: SingleConsensus<V>> fmt::Debug for AbcastNode<V, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbcastNode")
+            .field("me", &self.me)
+            .field("k", &self.k)
+            .field("running", &self.running)
+            .field("unordered", &self.unordered.len())
+            .field("ordered_pending", &self.ordered.len())
+            .field("delivered", &self.delivered_count)
+            .finish()
+    }
+}
+
+type Ctx<V> = Context<Envelope<V>, AbcastEvent>;
+
+impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
+    /// Assembles a node from its modules. `algo_factory` builds the state
+    /// machine of each consensus instance; `check_store` selects whether
+    /// the `rcv` oracle really consults the received-message store.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        bcast: Box<dyn Broadcast + Send>,
+        fd: Box<dyn FailureDetector + Send>,
+        algo_factory: impl FnMut(u64) -> A + Send + 'static,
+        check_store: bool,
+        cost: CostModel,
+    ) -> Self {
+        AbcastNode {
+            me,
+            n,
+            bcast,
+            fd,
+            mgr: InstanceManager::new(algo_factory),
+            store: ReceivedStore::new(),
+            unordered: IdSet::new(),
+            ordered: VecDeque::new(),
+            ordered_ever: HashSet::new(),
+            suspected: ProcessSet::new(),
+            check_store,
+            cost,
+            k: 0,
+            running: false,
+            next_seq: 0,
+            delivered_count: 0,
+        }
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Messages a-delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Identifiers ordered but not yet deliverable (payload still missing).
+    pub fn ordered_pending(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Identifiers received but not yet ordered.
+    pub fn unordered_len(&self) -> usize {
+        self.unordered.len()
+    }
+
+    /// Serial number of the latest consensus instance.
+    pub fn instance(&self) -> u64 {
+        self.k
+    }
+
+    /// The received-message store (for tests and probes).
+    pub fn store(&self) -> &ReceivedStore {
+        &self.store
+    }
+
+    /// Consensus instance slots currently retained (live + GC cache).
+    pub fn consensus_slots(&self) -> usize {
+        self.mgr.slot_count()
+    }
+
+    fn send_bcast(&self, dest: BcastDest, msg: iabc_broadcast::BcastMsg, ctx: &mut Ctx<V>) {
+        match dest {
+            BcastDest::To(q) => ctx.send(q, Envelope::Bcast(msg)),
+            BcastDest::Others => ctx.send_to_others(Envelope::Bcast(msg)),
+        }
+    }
+
+    fn apply_bcast_out(&mut self, out: BcastOut, ctx: &mut Ctx<V>) {
+        for (dest, msg) in out.sends {
+            self.send_bcast(dest, msg, ctx);
+        }
+        for m in out.deliveries {
+            self.rdeliver(m, ctx);
+        }
+    }
+
+    fn apply_fd_out(&mut self, out: FdOut, ctx: &mut Ctx<V>) {
+        for (dest, msg) in out.sends {
+            match dest {
+                FdDest::To(q) => ctx.send(q, Envelope::Fd(msg)),
+                FdDest::Others => ctx.send_to_others(Envelope::Fd(msg)),
+            }
+        }
+        for (delay, data) in out.timers {
+            ctx.set_timer(delay, TimerId::new(TIMER_FD, data));
+        }
+        for change in out.changes {
+            match change {
+                FdEvent::Suspect(p) => {
+                    self.suspected.insert(p);
+                    // The broadcast layer may need to relay the suspect's
+                    // messages (lazy reliable broadcast)...
+                    let mut bout = BcastOut::new();
+                    self.bcast.on_suspect(p, &mut bout);
+                    self.apply_bcast_out(bout, ctx);
+                    // ...and waiting consensus instances may need to nack.
+                    let mut mout = MgrOut::new();
+                    {
+                        let oracle = NodeOracle {
+                            store: &self.store,
+                            check_store: self.check_store,
+                            cost_per_id: self.cost.rcv_check_per_id,
+                        };
+                        self.mgr.on_suspect(p, &oracle, self.suspected, &mut mout);
+                    }
+                    self.apply_mgr_out(mout, ctx);
+                }
+                FdEvent::Trust(p) => {
+                    self.suspected.remove(p);
+                }
+            }
+        }
+    }
+
+    fn apply_mgr_out(&mut self, out: MgrOut<V>, ctx: &mut Ctx<V>) {
+        ctx.work(out.work);
+        for (k, dest, msg) in out.sends {
+            let env = Envelope::Cons { k, msg };
+            match dest {
+                ConsDest::To(q) => ctx.send(q, env),
+                ConsDest::All => ctx.send_to_all(env),
+                ConsDest::Others => ctx.send_to_others(env),
+            }
+        }
+        for (k, v) in out.decisions {
+            self.handle_decision(k, v, ctx);
+        }
+    }
+
+    /// Algorithm 1 lines 11–14: R-deliver.
+    fn rdeliver(&mut self, m: AppMessage, ctx: &mut Ctx<V>) {
+        let id = m.id();
+        if !self.store.insert(m) {
+            return; // duplicate copies are possible across layers
+        }
+        if !self.ordered_ever.contains(&id) {
+            self.unordered.insert(id);
+        }
+        self.maybe_propose(ctx);
+        // The payload for the head of `ordered_p` may just have arrived.
+        self.try_deliver(ctx);
+    }
+
+    /// Algorithm 1 lines 15–18: run one consensus at a time while there are
+    /// unordered identifiers.
+    fn maybe_propose(&mut self, ctx: &mut Ctx<V>) {
+        if self.running || self.unordered.is_empty() {
+            return;
+        }
+        self.k += 1;
+        self.running = true;
+        let proposal = V::from_unordered(&self.unordered, &self.store);
+        ctx.work(self.cost.propose_per_id * proposal.id_count() as u64);
+        let mut mout = MgrOut::new();
+        {
+            let oracle = NodeOracle {
+                store: &self.store,
+                check_store: self.check_store,
+                cost_per_id: self.cost.rcv_check_per_id,
+            };
+            self.mgr.propose(self.k, proposal, &oracle, self.suspected, &mut mout);
+        }
+        self.apply_mgr_out(mout, ctx);
+    }
+
+    /// Algorithm 1 lines 18–21: a decision arrived for instance `k`.
+    fn handle_decision(&mut self, k: u64, v: V, ctx: &mut Ctx<V>) {
+        debug_assert_eq!(k, self.k, "decisions arrive for the running instance");
+        self.running = false;
+        // Full-message values teach us payloads we may not have R-delivered
+        // yet (and in the classic reduction, this is the only way a slow
+        // process learns them in time).
+        v.store_payloads(&mut self.store);
+        let ids = v.ids();
+        ctx.work(self.cost.order_per_id * ids.len() as u64);
+        self.unordered.subtract(&ids);
+        for id in ids.iter() {
+            if self.ordered_ever.insert(id) {
+                self.ordered.push_back(id);
+            } else {
+                debug_assert!(false, "id {id} decided twice");
+            }
+        }
+        self.try_deliver(ctx);
+        // Bound the manager's footprint: old decided instances only serve
+        // stragglers, and the decide relay already covers those in practice.
+        self.mgr.gc_decided_below(self.k, KEEP_DECIDED_INSTANCES);
+        self.maybe_propose(ctx);
+    }
+
+    /// Algorithm 1 lines 22–25: deliver ordered messages whose payload is
+    /// present, in order.
+    fn try_deliver(&mut self, ctx: &mut Ctx<V>) {
+        while let Some(&head) = self.ordered.front() {
+            let Some(m) = self.store.get(head) else { break };
+            let msg = m.clone();
+            self.ordered.pop_front();
+            self.delivered_count += 1;
+            ctx.output(AbcastEvent::Delivered { msg });
+        }
+    }
+}
+
+impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
+    type Msg = Envelope<V>;
+    type Command = AbcastCommand;
+    type Output = AbcastEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<V>) {
+        let mut fout = FdOut::new();
+        self.fd.on_start(ctx.now(), &mut fout);
+        self.apply_fd_out(fout, ctx);
+    }
+
+    fn on_command(&mut self, cmd: AbcastCommand, ctx: &mut Ctx<V>) {
+        let AbcastCommand::Broadcast(payload) = cmd;
+        let id = MsgId::new(self.me, self.next_seq);
+        self.next_seq += 1;
+        let m = AppMessage::new(id, payload, ctx.now());
+        ctx.output(AbcastEvent::Broadcast { id });
+        // Algorithm 1 line 8: R-broadcast(m).
+        let mut bout = BcastOut::new();
+        self.bcast.broadcast(m, &mut bout);
+        self.apply_bcast_out(bout, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Envelope<V>, ctx: &mut Ctx<V>) {
+        match msg {
+            Envelope::Bcast(b) => {
+                let mut bout = BcastOut::new();
+                self.bcast.on_message(from, b, &mut bout);
+                self.apply_bcast_out(bout, ctx);
+            }
+            Envelope::Cons { k, msg } => {
+                let mut mout = MgrOut::new();
+                {
+                    let oracle = NodeOracle {
+                        store: &self.store,
+                        check_store: self.check_store,
+                        cost_per_id: self.cost.rcv_check_per_id,
+                    };
+                    self.mgr.on_message(k, from, msg, &oracle, self.suspected, &mut mout);
+                }
+                self.apply_mgr_out(mout, ctx);
+            }
+            Envelope::Fd(f) => {
+                let mut fout = FdOut::new();
+                self.fd.on_message(ctx.now(), from, f, &mut fout);
+                self.apply_fd_out(fout, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Ctx<V>) {
+        if timer.kind() == TIMER_FD {
+            let mut fout = FdOut::new();
+            self.fd.on_timer(ctx.now(), timer.data(), &mut fout);
+            self.apply_fd_out(fout, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_types::{Payload, Time};
+
+    fn msg(p: u16, seq: u64) -> AppMessage {
+        AppMessage::new(MsgId::new(ProcessId::new(p), seq), Payload::zeroed(8), Time::ZERO)
+    }
+
+    #[test]
+    fn idset_ordering_value() {
+        let mut store = ReceivedStore::new();
+        store.insert(msg(0, 0));
+        let unordered = IdSet::from_ids([msg(0, 0).id(), msg(1, 5).id()]);
+        let v = IdSet::from_unordered(&unordered, &store);
+        assert_eq!(v, unordered);
+        assert_eq!(v.id_count(), 2);
+        assert!(!OrderingValue::held_in(&v, &store), "msg(1,5) is missing");
+        store.insert(msg(1, 5));
+        assert!(OrderingValue::held_in(&v, &store));
+    }
+
+    #[test]
+    fn msgset_ordering_value_carries_payloads() {
+        let mut store = ReceivedStore::new();
+        store.insert(msg(0, 0));
+        store.insert(msg(1, 1));
+        let unordered = IdSet::from_ids([msg(0, 0).id(), msg(1, 1).id()]);
+        let v = MsgSet::from_unordered(&unordered, &store);
+        assert_eq!(v.len(), 2);
+        assert!(v.held_in(&ReceivedStore::new()), "MsgSet is self-contained");
+        // A fresh store learns the payloads from the value.
+        let mut fresh = ReceivedStore::new();
+        v.store_payloads(&mut fresh);
+        assert!(fresh.contains(msg(0, 0).id()));
+        assert!(fresh.contains(msg(1, 1).id()));
+    }
+
+    #[test]
+    fn node_oracle_modes() {
+        let mut store = ReceivedStore::new();
+        store.insert(msg(0, 0));
+        let missing = IdSet::from_ids([msg(9, 9).id()]);
+
+        let checking = NodeOracle {
+            store: &store,
+            check_store: true,
+            cost_per_id: Duration::from_micros(10),
+        };
+        assert!(!RcvOracle::<IdSet>::rcv(&checking, &missing));
+        assert_eq!(RcvOracle::<IdSet>::cost(&checking, &missing), Duration::from_micros(10));
+
+        let faulty = NodeOracle { store: &store, check_store: false, cost_per_id: Duration::ZERO };
+        assert!(RcvOracle::<IdSet>::rcv(&faulty, &missing), "the faulty oracle lies");
+        assert_eq!(RcvOracle::<IdSet>::cost(&faulty, &missing), Duration::ZERO);
+    }
+}

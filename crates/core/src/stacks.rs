@@ -1,0 +1,263 @@
+//! Constructors for the paper's four atomic broadcast stacks
+//! (× two consensus families × two reliable-broadcast strategies).
+
+use iabc_broadcast::{Broadcast, EagerRb, LazyRb, MajorityAckUrb};
+use iabc_consensus::{CtConsensus, CtIndirect, MrConsensus, MrIndirect};
+use iabc_fd::{FailureDetector, HeartbeatFd, NeverSuspect};
+use iabc_types::{Duration, IdSet, ProcessId};
+
+use crate::msgset::MsgSet;
+use crate::node::AbcastNode;
+use crate::store::CostModel;
+
+/// Which ◇S consensus family a stack uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsensusFamily {
+    /// Chandra–Toueg (centralized, coordinator-driven).
+    Ct,
+    /// Mostéfaoui–Raynal (decentralized, quorum-driven).
+    Mr,
+}
+
+/// Which reliable-broadcast dissemination strategy a stack uses
+/// (ignored by the URB variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RbKind {
+    /// Eager flooding: one step, O(n²) messages (Figures 5/7a).
+    EagerN2,
+    /// Failure-detector triggered relays: O(n) messages in good runs
+    /// (Figures 6/7b).
+    LazyN,
+}
+
+/// The four stack variants compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantKind {
+    /// RB + indirect consensus on identifiers (the contribution).
+    Indirect,
+    /// RB + consensus on full message sets (classic reduction \[2\]).
+    DirectMessages,
+    /// RB + unmodified consensus on identifiers — **unsafe** (§2.2), kept
+    /// as the baseline the paper measures against in Figures 3–4.
+    FaultyIds,
+    /// URB + unmodified consensus on identifiers (the other correct fix).
+    UrbIds,
+}
+
+/// Which failure detector a stack runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdKind {
+    /// Never suspect (fault-free performance runs).
+    Never,
+    /// Heartbeat ◇S with the given period and suspicion timeout.
+    Heartbeat {
+        /// Heartbeat period.
+        interval: Duration,
+        /// Silence threshold after which a peer is suspected.
+        timeout: Duration,
+    },
+}
+
+/// Everything needed to instantiate one process of a stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackParams {
+    /// System size.
+    pub n: usize,
+    /// Reliable-broadcast strategy (for the variants that use RB).
+    pub rb: RbKind,
+    /// Failure detector.
+    pub fd: FdKind,
+    /// CPU cost model for the bookkeeping.
+    pub cost: CostModel,
+}
+
+impl StackParams {
+    /// Parameters for a fault-free logic run: eager RB, no failure
+    /// detector, zero bookkeeping costs.
+    pub fn fault_free(n: usize) -> Self {
+        StackParams { n, rb: RbKind::EagerN2, fd: FdKind::Never, cost: CostModel::zero() }
+    }
+
+    /// Same but with a heartbeat ◇S detector — for runs with crashes.
+    pub fn with_heartbeat(n: usize, interval: Duration, timeout: Duration) -> Self {
+        StackParams {
+            n,
+            rb: RbKind::EagerN2,
+            fd: FdKind::Heartbeat { interval, timeout },
+            cost: CostModel::zero(),
+        }
+    }
+}
+
+fn make_rb(kind: RbKind) -> Box<dyn Broadcast + Send> {
+    match kind {
+        RbKind::EagerN2 => Box::new(EagerRb::new()),
+        RbKind::LazyN => Box::new(LazyRb::new()),
+    }
+}
+
+fn make_fd(kind: FdKind, me: ProcessId, n: usize) -> Box<dyn FailureDetector + Send> {
+    match kind {
+        FdKind::Never => Box::new(NeverSuspect::new()),
+        FdKind::Heartbeat { interval, timeout } => {
+            Box::new(HeartbeatFd::new(me, n, interval, timeout))
+        }
+    }
+}
+
+/// RB + **indirect CT** consensus (Algorithm 1 + Algorithm 2) — the
+/// paper's primary stack.
+pub fn indirect_ct(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtIndirect<IdSet>> {
+    let n = p.n;
+    AbcastNode::new(
+        me,
+        n,
+        make_rb(p.rb),
+        make_fd(p.fd, me, n),
+        move |k| CtIndirect::with_coord_offset(me, n, k),
+        true,
+        p.cost,
+    )
+}
+
+/// RB + **indirect MR** consensus (Algorithm 1 + Algorithm 3). Remember
+/// the reduced resilience: safe only while `f < n/3`.
+pub fn indirect_mr(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrIndirect<IdSet>> {
+    let n = p.n;
+    AbcastNode::new(
+        me,
+        n,
+        make_rb(p.rb),
+        make_fd(p.fd, me, n),
+        move |k| MrIndirect::with_coord_offset(me, n, k),
+        true,
+        p.cost,
+    )
+}
+
+/// RB + CT consensus on **full message sets** — the classic reduction of
+/// \[2\]: correct, but consensus traffic carries every payload (Figure 1).
+pub fn direct_ct_messages(me: ProcessId, p: &StackParams) -> AbcastNode<MsgSet, CtConsensus<MsgSet>> {
+    let n = p.n;
+    AbcastNode::new(
+        me,
+        n,
+        make_rb(p.rb),
+        make_fd(p.fd, me, n),
+        move |k| CtConsensus::with_coord_offset(me, n, k),
+        false,
+        p.cost,
+    )
+}
+
+/// RB + MR consensus on **full message sets**.
+pub fn direct_mr_messages(me: ProcessId, p: &StackParams) -> AbcastNode<MsgSet, MrConsensus<MsgSet>> {
+    let n = p.n;
+    AbcastNode::new(
+        me,
+        n,
+        make_rb(p.rb),
+        make_fd(p.fd, me, n),
+        move |k| MrConsensus::with_coord_offset(me, n, k),
+        false,
+        p.cost,
+    )
+}
+
+/// RB + **unmodified** CT consensus on bare identifiers.
+///
+/// ⚠ This stack is *known-unsafe*: it is the §2.2 counterexample — a
+/// single crash can strand an ordered identifier whose payload no correct
+/// process holds, blocking delivery forever (Validity violation). It
+/// exists to reproduce the paper's Figures 3–4 baseline and its
+/// counterexample tests; do not use it for anything else.
+pub fn faulty_ct_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtConsensus<IdSet>> {
+    let n = p.n;
+    AbcastNode::new(
+        me,
+        n,
+        make_rb(p.rb),
+        make_fd(p.fd, me, n),
+        move |k| CtConsensus::with_coord_offset(me, n, k),
+        false,
+        p.cost,
+    )
+}
+
+/// RB + **unmodified** MR consensus on bare identifiers.
+///
+/// ⚠ Known-unsafe, like [`faulty_ct_ids`]; additionally this is the
+/// algorithm §3.3.2 proves cannot be repaired by local checks alone.
+pub fn faulty_mr_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrConsensus<IdSet>> {
+    let n = p.n;
+    AbcastNode::new(
+        me,
+        n,
+        make_rb(p.rb),
+        make_fd(p.fd, me, n),
+        move |k| MrConsensus::with_coord_offset(me, n, k),
+        false,
+        p.cost,
+    )
+}
+
+/// **URB** + unmodified CT consensus on identifiers — the other correct
+/// solution: uniform reliable broadcast guarantees every ordered payload
+/// is everywhere, at the price of O(n²) payload messages and a two-step
+/// broadcaster delivery (Figures 5–7).
+pub fn urb_ct_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtConsensus<IdSet>> {
+    let n = p.n;
+    AbcastNode::new(
+        me,
+        n,
+        Box::new(MajorityAckUrb::new(me, n)),
+        make_fd(p.fd, me, n),
+        move |k| CtConsensus::with_coord_offset(me, n, k),
+        false,
+        p.cost,
+    )
+}
+
+/// **URB** + unmodified MR consensus on identifiers.
+pub fn urb_mr_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrConsensus<IdSet>> {
+    let n = p.n;
+    AbcastNode::new(
+        me,
+        n,
+        Box::new(MajorityAckUrb::new(me, n)),
+        make_fd(p.fd, me, n),
+        move |k| MrConsensus::with_coord_offset(me, n, k),
+        false,
+        p.cost,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build() {
+        let p = StackParams::fault_free(3);
+        let me = ProcessId::new(0);
+        let _ = indirect_ct(me, &p);
+        let _ = indirect_mr(me, &p);
+        let _ = direct_ct_messages(me, &p);
+        let _ = direct_mr_messages(me, &p);
+        let _ = faulty_ct_ids(me, &p);
+        let _ = faulty_mr_ids(me, &p);
+        let _ = urb_ct_ids(me, &p);
+        let _ = urb_mr_ids(me, &p);
+    }
+
+    #[test]
+    fn heartbeat_params_build() {
+        let p = StackParams::with_heartbeat(
+            3,
+            Duration::from_millis(5),
+            Duration::from_millis(50),
+        );
+        let _ = indirect_ct(ProcessId::new(1), &p);
+        assert!(matches!(p.fd, FdKind::Heartbeat { .. }));
+    }
+}

@@ -1,0 +1,108 @@
+//! Wire-size invariants across the complete envelope space.
+//!
+//! The simulator charges the network model with `wire_size()`, while the
+//! TCP runtime ships `encode()` bytes — the two must agree *exactly* for
+//! every message the stacks can produce, or the simulation measures a
+//! different protocol than the one that runs on sockets.
+
+use iabc_broadcast::BcastMsg;
+use iabc_consensus::ConsMsg;
+use iabc_core::{Envelope, MsgSet};
+use iabc_fd::FdMsg;
+use iabc_types::wire::{check_size_invariant, roundtrip};
+use iabc_types::{AppMessage, IdSet, MsgId, Payload, ProcessId, Time};
+use proptest::prelude::*;
+
+fn msg(sender: u16, seq: u64, size: usize) -> AppMessage {
+    AppMessage::new(
+        MsgId::new(ProcessId::new(sender), seq),
+        Payload::zeroed(size),
+        Time::from_nanos(seq * 17),
+    )
+}
+
+fn arb_idset() -> impl Strategy<Value = IdSet> {
+    proptest::collection::vec((0u16..8, 0u64..100), 0..20)
+        .prop_map(|v| IdSet::from_ids(v.into_iter().map(|(p, s)| MsgId::new(ProcessId::new(p), s))))
+}
+
+fn arb_msgset() -> impl Strategy<Value = MsgSet> {
+    proptest::collection::vec((0u16..4, 0u64..50, 0usize..512), 0..8)
+        .prop_map(|v| MsgSet::from_msgs(v.into_iter().map(|(p, s, sz)| msg(p, s, sz))))
+}
+
+fn arb_cons_ids() -> impl Strategy<Value = ConsMsg<IdSet>> {
+    (arb_idset(), 1u64..50, 0u64..50, 0u8..7).prop_map(|(v, round, ts, kind)| match kind {
+        0 => ConsMsg::CtEstimate { round, estimate: v, ts },
+        1 => ConsMsg::CtProposal { round, estimate: v },
+        2 => ConsMsg::CtAck { round },
+        3 => ConsMsg::CtNack { round },
+        4 => ConsMsg::MrPhase1 { round, estimate: v },
+        5 => ConsMsg::MrPhase2 { round, est: if ts % 2 == 0 { Some(v) } else { None } },
+        _ => ConsMsg::Decide { value: v },
+    })
+}
+
+fn arb_bcast() -> impl Strategy<Value = BcastMsg> {
+    (0u16..4, 0u64..50, 0usize..1024, 0u8..4).prop_map(|(p, s, sz, kind)| {
+        let m = msg(p, s, sz);
+        match kind {
+            0 => BcastMsg::Data(m),
+            1 => BcastMsg::Relay(m),
+            2 => BcastMsg::UrbData(m),
+            _ => BcastMsg::UrbEcho(m),
+        }
+    })
+}
+
+proptest! {
+    /// Every id-based envelope encodes to exactly `wire_size()` bytes and
+    /// round-trips losslessly.
+    #[test]
+    fn id_envelopes_roundtrip_with_exact_sizes(
+        kind in 0u8..3,
+        cons in arb_cons_ids(),
+        bcast in arb_bcast(),
+        k in 0u64..1000,
+        hb in 0u64..1000,
+    ) {
+        let env: Envelope<IdSet> = match kind {
+            0 => Envelope::Bcast(bcast),
+            1 => Envelope::Cons { k, msg: cons },
+            _ => Envelope::Fd(FdMsg::Heartbeat(hb)),
+        };
+        check_size_invariant(&env);
+        prop_assert_eq!(roundtrip(&env).unwrap(), env);
+    }
+
+    /// Same for the full-message envelopes of the classic reduction.
+    #[test]
+    fn msgset_envelopes_roundtrip_with_exact_sizes(
+        set in arb_msgset(),
+        round in 1u64..50,
+        k in 0u64..1000,
+    ) {
+        let env: Envelope<MsgSet> =
+            Envelope::Cons { k, msg: ConsMsg::CtProposal { round, estimate: set } };
+        check_size_invariant(&env);
+        prop_assert_eq!(roundtrip(&env).unwrap(), env);
+    }
+
+    /// The paper's core size asymmetry, as an invariant: an id-based
+    /// consensus frame never grows with payload size; a full-message frame
+    /// always carries at least the payload bytes.
+    #[test]
+    fn consensus_frame_size_asymmetry(size in 0usize..10_000) {
+        let m = msg(0, 1, size);
+        let id_frame: Envelope<IdSet> = Envelope::Cons {
+            k: 1,
+            msg: ConsMsg::CtProposal { round: 1, estimate: IdSet::from_ids([m.id()]) },
+        };
+        let msg_frame: Envelope<MsgSet> = Envelope::Cons {
+            k: 1,
+            msg: ConsMsg::CtProposal { round: 1, estimate: MsgSet::from_msgs([m]) },
+        };
+        prop_assert!(iabc_types::WireSize::wire_size(&id_frame) < 64);
+        prop_assert!(iabc_types::WireSize::wire_size(&msg_frame) >= size);
+    }
+}

@@ -1,0 +1,222 @@
+//! Heartbeat-based ◇S failure detector.
+
+use iabc_types::{Duration, ProcessId, ProcessSet, Time};
+
+use crate::{FailureDetector, FdDest, FdEvent, FdMsg, FdOut};
+
+/// Timer payload: time to send the next heartbeat round.
+const TICK_SEND: u64 = 0;
+/// Timer payload: time to re-examine liveness of the others.
+const TICK_CHECK: u64 = 1;
+
+/// The classic heartbeat failure detector.
+///
+/// Every `send_interval` the process multicasts a heartbeat; a peer that has
+/// not been heard from for `timeout` becomes suspected, and is trusted again
+/// as soon as a fresh heartbeat arrives. With `timeout` above the actual
+/// (eventual) message delay this implements ◇S: crashed processes are
+/// eventually suspected forever (strong completeness), and eventually some
+/// correct process is never falsely suspected (eventual weak accuracy).
+///
+/// # Example
+///
+/// ```
+/// use iabc_fd::{FailureDetector, FdOut, HeartbeatFd};
+/// use iabc_types::{Duration, ProcessId, Time};
+///
+/// let mut fd = HeartbeatFd::new(
+///     ProcessId::new(0),
+///     3,
+///     Duration::from_millis(10),
+///     Duration::from_millis(50),
+/// );
+/// let mut out = FdOut::new();
+/// fd.on_start(Time::ZERO, &mut out);
+/// assert!(!out.sends.is_empty()); // first heartbeat goes out immediately
+/// ```
+#[derive(Debug)]
+pub struct HeartbeatFd {
+    me: ProcessId,
+    n: usize,
+    send_interval: Duration,
+    timeout: Duration,
+    /// Last time a heartbeat (or any sign of life) was seen, per process.
+    last_seen: Vec<Time>,
+    suspected: ProcessSet,
+    next_seq: u64,
+}
+
+impl HeartbeatFd {
+    /// Creates a detector for process `me` of `n`, multicasting every
+    /// `send_interval` and suspecting after `timeout` of silence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout <= send_interval` (such a detector would suspect
+    /// everyone between consecutive heartbeats).
+    pub fn new(me: ProcessId, n: usize, send_interval: Duration, timeout: Duration) -> Self {
+        assert!(
+            timeout > send_interval,
+            "timeout ({timeout}) must exceed send interval ({send_interval})"
+        );
+        HeartbeatFd {
+            me,
+            n,
+            send_interval,
+            timeout,
+            last_seen: vec![Time::ZERO; n],
+            suspected: ProcessSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn send_heartbeat(&mut self, out: &mut FdOut) {
+        out.sends.push((FdDest::Others, FdMsg::Heartbeat(self.next_seq)));
+        self.next_seq += 1;
+        out.timers.push((self.send_interval, TICK_SEND));
+    }
+
+    fn check(&mut self, now: Time, out: &mut FdOut) {
+        for q in ProcessId::all(self.n) {
+            if q == self.me {
+                continue;
+            }
+            let silent_for = now.elapsed_since(self.last_seen[q.as_usize()]);
+            if silent_for > self.timeout {
+                if self.suspected.insert(q) {
+                    out.changes.push(FdEvent::Suspect(q));
+                }
+            }
+        }
+        out.timers.push((self.send_interval, TICK_CHECK));
+    }
+}
+
+impl FailureDetector for HeartbeatFd {
+    fn on_start(&mut self, now: Time, out: &mut FdOut) {
+        // Treat everyone as just-seen so that the timeout runs from start.
+        for slot in &mut self.last_seen {
+            *slot = now;
+        }
+        self.send_heartbeat(out);
+        out.timers.push((self.send_interval, TICK_CHECK));
+    }
+
+    fn on_message(&mut self, now: Time, from: ProcessId, msg: FdMsg, out: &mut FdOut) {
+        let FdMsg::Heartbeat(_) = msg;
+        if from.as_usize() >= self.n {
+            return;
+        }
+        self.last_seen[from.as_usize()] = now;
+        if self.suspected.remove(from) {
+            out.changes.push(FdEvent::Trust(from));
+        }
+    }
+
+    fn on_timer(&mut self, now: Time, data: u64, out: &mut FdOut) {
+        match data {
+            TICK_SEND => self.send_heartbeat(out),
+            TICK_CHECK => self.check(now, out),
+            _ => {}
+        }
+    }
+
+    fn suspected(&self) -> ProcessSet {
+        self.suspected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn fd() -> HeartbeatFd {
+        HeartbeatFd::new(p(0), 3, ms(10), ms(35))
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed send interval")]
+    fn rejects_timeout_below_interval() {
+        let _ = HeartbeatFd::new(p(0), 3, ms(10), ms(10));
+    }
+
+    #[test]
+    fn start_emits_heartbeat_and_timers() {
+        let mut d = fd();
+        let mut out = FdOut::new();
+        d.on_start(Time::ZERO, &mut out);
+        assert_eq!(out.sends.len(), 1);
+        assert!(matches!(out.sends[0], (FdDest::Others, FdMsg::Heartbeat(0))));
+        assert_eq!(out.timers.len(), 2);
+        assert!(out.changes.is_empty());
+    }
+
+    #[test]
+    fn silence_leads_to_suspicion_once() {
+        let mut d = fd();
+        let mut out = FdOut::new();
+        d.on_start(Time::ZERO, &mut out);
+        // Both peers heartbeat at t=5ms.
+        let t5 = Time::ZERO + ms(5);
+        d.on_message(t5, p(1), FdMsg::Heartbeat(0), &mut out);
+        d.on_message(t5, p(2), FdMsg::Heartbeat(0), &mut out);
+        // p1 stays silent; p2 keeps beating.
+        let mut out = FdOut::new();
+        d.on_message(Time::ZERO + ms(30), p(2), FdMsg::Heartbeat(1), &mut out);
+        d.on_timer(Time::ZERO + ms(50), TICK_CHECK, &mut out);
+        assert_eq!(out.changes, vec![FdEvent::Suspect(p(1))]);
+        assert!(d.suspects(p(1)));
+        assert!(!d.suspects(p(2)));
+        // A second check does not re-report the same suspicion.
+        let mut out = FdOut::new();
+        d.on_timer(Time::ZERO + ms(60), TICK_CHECK, &mut out);
+        assert!(out.changes.is_empty());
+    }
+
+    #[test]
+    fn fresh_heartbeat_restores_trust() {
+        let mut d = fd();
+        let mut out = FdOut::new();
+        d.on_start(Time::ZERO, &mut out);
+        d.on_timer(Time::ZERO + ms(40), TICK_CHECK, &mut out);
+        assert!(d.suspects(p(1)));
+        let mut out = FdOut::new();
+        d.on_message(Time::ZERO + ms(45), p(1), FdMsg::Heartbeat(7), &mut out);
+        assert_eq!(out.changes, vec![FdEvent::Trust(p(1))]);
+        assert!(!d.suspects(p(1)));
+    }
+
+    #[test]
+    fn heartbeat_sequence_increments() {
+        let mut d = fd();
+        let mut out = FdOut::new();
+        d.on_start(Time::ZERO, &mut out);
+        d.on_timer(Time::ZERO + ms(10), TICK_SEND, &mut out);
+        d.on_timer(Time::ZERO + ms(20), TICK_SEND, &mut out);
+        let seqs: Vec<u64> = out
+            .sends
+            .iter()
+            .map(|(_, m)| match m {
+                FdMsg::Heartbeat(s) => *s,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn never_suspects_self() {
+        let mut d = fd();
+        let mut out = FdOut::new();
+        d.on_start(Time::ZERO, &mut out);
+        d.on_timer(Time::ZERO + ms(100), TICK_CHECK, &mut out);
+        assert!(!d.suspects(p(0)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Failure detectors.
+//!
+//! The paper's consensus algorithms are built on the unreliable failure
+//! detector **◇S** (eventual weak accuracy + strong completeness). This
+//! crate provides three interchangeable implementations behind the
+//! [`FailureDetector`] trait:
+//!
+//! * [`NeverSuspect`] — never suspects anyone. In fault-free performance
+//!   runs (all of the paper's Figures) ◇S never triggers, so this is the
+//!   faithful (and cheapest) choice.
+//! * [`HeartbeatFd`] — the classic implementation: periodic heartbeats and
+//!   a per-process timeout. Provides strong completeness always; accuracy
+//!   holds once the network is timely (the "eventually" of ◇S).
+//! * [`ScriptedFd`] — replays a pre-programmed suspicion timeline. Used by
+//!   tests to force the exact suspicion patterns of the paper's
+//!   counterexamples (§2.2, §3.3.2).
+//!
+//! Like everything in this workspace the detectors are sans-io: they are
+//! sub-protocols that a composed node drives through explicit calls and an
+//! output buffer ([`FdOut`]).
+
+pub mod heartbeat;
+pub mod scripted;
+
+use std::fmt;
+
+use iabc_types::{CodecError, Decode, Duration, Encode, ProcessId, ProcessSet, Time, WireSize};
+
+pub use heartbeat::HeartbeatFd;
+pub use scripted::ScriptedFd;
+
+/// A change in the suspicion state of the local failure-detector module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdEvent {
+    /// `p` is now suspected of having crashed.
+    Suspect(ProcessId),
+    /// `p` is no longer suspected.
+    Trust(ProcessId),
+}
+
+/// Destination of a failure-detector message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdDest {
+    /// A single process.
+    To(ProcessId),
+    /// Every process except the sender.
+    Others,
+}
+
+/// Wire messages exchanged by failure detectors (heartbeats only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdMsg {
+    /// "I am alive", with the sender's heartbeat sequence number.
+    Heartbeat(u64),
+}
+
+impl WireSize for FdMsg {
+    fn wire_size(&self) -> usize {
+        1 + 8
+    }
+}
+
+impl Encode for FdMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            FdMsg::Heartbeat(seq) => {
+                buf.push(0);
+                seq.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for FdMsg {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(FdMsg::Heartbeat(u64::decode(buf)?)),
+            tag => Err(CodecError::InvalidTag { tag, context: "FdMsg" }),
+        }
+    }
+}
+
+/// Output buffer filled by failure-detector callbacks.
+#[derive(Debug, Default)]
+pub struct FdOut {
+    /// Messages to send.
+    pub sends: Vec<(FdDest, FdMsg)>,
+    /// Timers to arm: `(delay, timer payload)`.
+    pub timers: Vec<(Duration, u64)>,
+    /// Suspicion changes to report to the layers above (consensus).
+    pub changes: Vec<FdEvent>,
+}
+
+impl FdOut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        FdOut::default()
+    }
+
+    /// Whether nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.timers.is_empty() && self.changes.is_empty()
+    }
+}
+
+/// A sans-io failure-detector module for one process.
+///
+/// The composed node calls `on_start` once, routes incoming [`FdMsg`]s to
+/// `on_message` and expired timers (armed via [`FdOut::timers`]) to
+/// `on_timer`, and reads the current suspicion set with `suspected`.
+pub trait FailureDetector: fmt::Debug {
+    /// Called once at system start.
+    fn on_start(&mut self, now: Time, out: &mut FdOut) {
+        let _ = (now, out);
+    }
+
+    /// Called when a failure-detector message arrives.
+    fn on_message(&mut self, now: Time, from: ProcessId, msg: FdMsg, out: &mut FdOut) {
+        let _ = (now, from, msg, out);
+    }
+
+    /// Called when a timer armed by this module expires.
+    fn on_timer(&mut self, now: Time, data: u64, out: &mut FdOut) {
+        let _ = (now, data, out);
+    }
+
+    /// The set of processes currently suspected — the query `D_p` of the
+    /// paper's algorithms.
+    fn suspected(&self) -> ProcessSet;
+
+    /// Whether `p` is currently suspected (`p ∈ D_p`).
+    fn suspects(&self, p: ProcessId) -> bool {
+        self.suspected().contains(p)
+    }
+}
+
+/// The trivial detector: never suspects anyone.
+///
+/// Matches ◇S behaviour in runs without crashes and without false
+/// suspicions — the regime of every performance figure in the paper.
+#[derive(Debug, Clone, Default)]
+pub struct NeverSuspect;
+
+impl NeverSuspect {
+    /// Creates the detector.
+    pub fn new() -> Self {
+        NeverSuspect
+    }
+}
+
+impl FailureDetector for NeverSuspect {
+    fn suspected(&self) -> ProcessSet {
+        ProcessSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_types::wire::roundtrip;
+
+    #[test]
+    fn never_suspect_is_empty() {
+        let fd = NeverSuspect::new();
+        assert!(fd.suspected().is_empty());
+        assert!(!fd.suspects(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn never_suspect_callbacks_are_noops() {
+        let mut fd = NeverSuspect::new();
+        let mut out = FdOut::new();
+        fd.on_start(Time::ZERO, &mut out);
+        fd.on_message(Time::ZERO, ProcessId::new(1), FdMsg::Heartbeat(0), &mut out);
+        fd.on_timer(Time::ZERO, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fd_msg_codec_roundtrip() {
+        let m = FdMsg::Heartbeat(42);
+        assert_eq!(roundtrip(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn fd_msg_rejects_bad_tag() {
+        let mut buf: &[u8] = &[9, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(FdMsg::decode(&mut buf).is_err());
+    }
+}

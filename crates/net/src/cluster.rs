@@ -1,0 +1,287 @@
+//! In-process thread cluster: one thread per node, channels as links.
+
+use std::collections::BinaryHeap;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use iabc_runtime::{Action, Context, Node, TimerId};
+use iabc_types::{ProcessId, Time};
+
+use crate::NetOutput;
+
+enum Input<M, C> {
+    Msg(ProcessId, M),
+    Cmd(C),
+    Stop,
+}
+
+/// A pending wall-clock timer.
+struct PendingTimer {
+    due: Instant,
+    timer: TimerId,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.timer == other.timer
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due) // min-heap
+    }
+}
+
+/// Runs `n` nodes on `n` OS threads connected by in-process channels.
+///
+/// # Example
+///
+/// ```
+/// use iabc_core::stacks::{self, StackParams};
+/// use iabc_core::{AbcastCommand, AbcastEvent};
+/// use iabc_net::ThreadCluster;
+/// use iabc_types::{Payload, ProcessId};
+///
+/// let params = StackParams::fault_free(3);
+/// let mut cluster = ThreadCluster::start(3, |p| stacks::indirect_ct(p, &params));
+/// cluster.send_command(ProcessId::new(0), AbcastCommand::Broadcast(Payload::zeroed(8)));
+/// let outputs = cluster.run_for(std::time::Duration::from_millis(300));
+/// let deliveries = outputs
+///     .iter()
+///     .filter(|o| matches!(o.output, AbcastEvent::Delivered { .. }))
+///     .count();
+/// assert_eq!(deliveries, 3);
+/// cluster.shutdown();
+/// ```
+pub struct ThreadCluster<N: Node> {
+    inputs: Vec<Sender<Input<N::Msg, N::Command>>>,
+    outputs: Receiver<NetOutput<N::Output>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<N> ThreadCluster<N>
+where
+    N: Node + Send + 'static,
+    N::Msg: Send,
+    N::Command: Send,
+    N::Output: Send,
+{
+    /// Builds the nodes with `factory` and starts one thread per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn start(n: usize, mut factory: impl FnMut(ProcessId) -> N) -> Self {
+        assert!(n > 0, "need at least one process");
+        let epoch = Instant::now();
+        let (out_tx, out_rx) = unbounded();
+        let channels: Vec<(Sender<_>, Receiver<_>)> = (0..n).map(|_| unbounded()).collect();
+        let inputs: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, (_, rx)) in channels.into_iter().enumerate() {
+            let me = ProcessId::new(i as u16);
+            let node = factory(me);
+            let peers = inputs.clone();
+            let out_tx = out_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                node_loop(node, me, n, epoch, rx, peers, out_tx);
+            }));
+        }
+        ThreadCluster { inputs, outputs: out_rx, handles }
+    }
+
+    /// Sends an application command to process `p`.
+    pub fn send_command(&self, p: ProcessId, cmd: N::Command) {
+        // A send to a stopped node is not an error for the caller.
+        let _ = self.inputs[p.as_usize()].send(Input::Cmd(cmd));
+    }
+
+    /// Returns an injector that feeds messages into `p`'s input queue as if
+    /// they came off the network — the hook alternative transports (TCP)
+    /// use to deliver decoded frames. The injector reports `Err(())` once
+    /// the node has stopped.
+    pub fn message_injector(
+        &self,
+        p: ProcessId,
+    ) -> impl Fn(ProcessId, N::Msg) -> Result<(), ()> + Send + 'static {
+        let tx = self.inputs[p.as_usize()].clone();
+        move |from, msg| tx.send(Input::Msg(from, msg)).map_err(|_| ())
+    }
+
+    /// Collects outputs for (wall-clock) `dur`, then returns them.
+    pub fn run_for(&mut self, dur: std::time::Duration) -> Vec<NetOutput<N::Output>> {
+        let deadline = Instant::now() + dur;
+        let mut out = Vec::new();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.outputs.recv_timeout(deadline - now) {
+                Ok(rec) => out.push(rec),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    /// Stops all node threads and waits for them.
+    pub fn shutdown(mut self) {
+        for tx in &self.inputs {
+            let _ = tx.send(Input::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn node_loop<N>(
+    mut node: N,
+    me: ProcessId,
+    n: usize,
+    epoch: Instant,
+    rx: Receiver<Input<N::Msg, N::Command>>,
+    peers: Vec<Sender<Input<N::Msg, N::Command>>>,
+    out_tx: Sender<NetOutput<N::Output>>,
+) where
+    N: Node,
+{
+    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
+    let now_time = |epoch: Instant| Time::from_nanos(epoch.elapsed().as_nanos() as u64);
+
+    // Start the node.
+    let mut ctx = Context::new(me, n, now_time(epoch));
+    node.on_start(&mut ctx);
+    apply::<N>(me, &mut ctx, &mut timers, &peers, &out_tx, epoch);
+
+    loop {
+        // Fire due timers.
+        let now = Instant::now();
+        while timers.peek().is_some_and(|t| t.due <= now) {
+            let t = timers.pop().expect("peeked");
+            let mut ctx = Context::new(me, n, now_time(epoch));
+            node.on_timer(t.timer, &mut ctx);
+            apply::<N>(me, &mut ctx, &mut timers, &peers, &out_tx, epoch);
+        }
+        // Wait for input until the next timer is due.
+        let wait = timers
+            .peek()
+            .map(|t| t.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(std::time::Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(Input::Msg(from, msg)) => {
+                let mut ctx = Context::new(me, n, now_time(epoch));
+                node.on_message(from, msg, &mut ctx);
+                apply::<N>(me, &mut ctx, &mut timers, &peers, &out_tx, epoch);
+            }
+            Ok(Input::Cmd(cmd)) => {
+                let mut ctx = Context::new(me, n, now_time(epoch));
+                node.on_command(cmd, &mut ctx);
+                apply::<N>(me, &mut ctx, &mut timers, &peers, &out_tx, epoch);
+            }
+            Ok(Input::Stop) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn apply<N: Node>(
+    me: ProcessId,
+    ctx: &mut Context<N::Msg, N::Output>,
+    timers: &mut BinaryHeap<PendingTimer>,
+    peers: &[Sender<Input<N::Msg, N::Command>>],
+    out_tx: &Sender<NetOutput<N::Output>>,
+    epoch: Instant,
+) {
+    for action in ctx.take_actions() {
+        match action {
+            Action::Send { to, msg } => {
+                let _ = peers[to.as_usize()].send(Input::Msg(me, msg));
+            }
+            Action::SetTimer { delay, timer } => {
+                timers.push(PendingTimer { due: Instant::now() + delay.into(), timer });
+            }
+            Action::Work { .. } => {} // real CPUs charge themselves
+            Action::Output(output) => {
+                let _ = out_tx.send(NetOutput {
+                    at: Time::from_nanos(epoch.elapsed().as_nanos() as u64),
+                    process: me,
+                    output,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_types::WireSize;
+
+    #[derive(Clone, Debug)]
+    struct Ping(u8);
+    impl WireSize for Ping {
+        fn wire_size(&self) -> usize {
+            1
+        }
+    }
+
+    /// Relay-once node: p0 sends to all on command; everyone outputs.
+    struct Echo;
+    impl Node for Echo {
+        type Msg = Ping;
+        type Command = u8;
+        type Output = (ProcessId, u8);
+
+        fn on_command(&mut self, cmd: u8, ctx: &mut Context<Ping, (ProcessId, u8)>) {
+            ctx.send_to_all(Ping(cmd));
+        }
+
+        fn on_message(&mut self, from: ProcessId, m: Ping, ctx: &mut Context<Ping, (ProcessId, u8)>) {
+            ctx.output((from, m.0));
+        }
+    }
+
+    #[test]
+    fn fanout_over_threads() {
+        let mut cluster = ThreadCluster::start(3, |_| Echo);
+        cluster.send_command(ProcessId::new(0), 9);
+        let outs = cluster.run_for(std::time::Duration::from_millis(200));
+        assert_eq!(outs.len(), 3);
+        assert!(outs.iter().all(|o| o.output == (ProcessId::new(0), 9)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_on_wall_clock() {
+        struct Alarm;
+        impl Node for Alarm {
+            type Msg = Ping;
+            type Command = ();
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut Context<Ping, u64>) {
+                ctx.set_timer(iabc_types::Duration::from_millis(20), TimerId::new(1, 5));
+            }
+            fn on_timer(&mut self, t: TimerId, ctx: &mut Context<Ping, u64>) {
+                ctx.output(t.data());
+            }
+        }
+        let mut cluster = ThreadCluster::start(1, |_| Alarm);
+        let outs = cluster.run_for(std::time::Duration::from_millis(300));
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].output, 5);
+        assert!(outs[0].at >= Time::from_nanos(15_000_000), "fired too early: {:?}", outs[0].at);
+        cluster.shutdown();
+    }
+}

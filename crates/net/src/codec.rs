@@ -1,0 +1,128 @@
+//! Length-prefixed framing for TCP transports.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BytesMut};
+use iabc_types::{Decode, Encode};
+
+/// Maximum accepted frame size (16 MiB) — guards against corrupt length
+/// prefixes taking the process down.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes one `[u32 length][body]` frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer; fails if the encoded value
+/// exceeds [`MAX_FRAME`].
+pub fn write_frame<T: Encode, W: Write>(value: &T, w: &mut W) -> io::Result<()> {
+    let body = value.to_bytes();
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Reads one `[u32 length][body]` frame and decodes it.
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails on oversized frames or malformed bodies.
+pub fn read_frame<T: Decode, R: Read>(r: &mut R) -> io::Result<T> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    T::from_bytes(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// An incremental frame decoder for non-blocking readers (accumulates
+/// bytes, yields complete frames).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: BytesMut,
+}
+
+impl FrameBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Fails on oversized or malformed frames.
+    pub fn next_frame<T: Decode>(&mut self) -> io::Result<Option<T>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let body = self.buf.split_to(len);
+        let value = T::from_bytes(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(Some(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_through_cursor() {
+        let mut buf = Vec::new();
+        write_frame(&0xDEAD_BEEFu32, &mut buf).unwrap();
+        write_frame(&7u32, &mut buf).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame::<u32, _>(&mut cursor).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(read_frame::<u32, _>(&mut cursor).unwrap(), 7);
+    }
+
+    #[test]
+    fn frame_buffer_handles_partial_input() {
+        let mut wire = Vec::new();
+        write_frame(&42u64, &mut wire).unwrap();
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire[..3]);
+        assert_eq!(fb.next_frame::<u64>().unwrap(), None);
+        fb.extend(&wire[3..7]);
+        assert_eq!(fb.next_frame::<u64>().unwrap(), None);
+        fb.extend(&wire[7..]);
+        assert_eq!(fb.next_frame::<u64>().unwrap(), Some(42));
+        assert_eq!(fb.next_frame::<u64>().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(u32::MAX).to_le_bytes());
+        assert!(fb.next_frame::<u64>().is_err());
+    }
+
+    #[test]
+    fn truncated_read_errors() {
+        let mut cursor = io::Cursor::new(vec![4u8, 0, 0, 0, 1, 2]); // body cut short
+        assert!(read_frame::<u32, _>(&mut cursor).is_err());
+    }
+}

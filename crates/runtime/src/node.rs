@@ -1,0 +1,121 @@
+//! The `Node` trait implemented by every composed protocol stack.
+
+use std::fmt;
+
+use iabc_types::{ProcessId, WireSize};
+
+use crate::context::Context;
+use crate::timer::TimerId;
+
+/// A complete protocol stack for one process, written sans-io.
+///
+/// Executors drive a node through four entry points; the node reacts by
+/// pushing [`Action`](crate::Action)s into the [`Context`]. All callbacks
+/// default to no-ops so simple nodes only implement what they use.
+///
+/// Determinism contract: a node must base its behaviour only on its own
+/// state and the arguments of the callback — never on ambient clocks,
+/// randomness, or thread identity. This is what makes simulator runs
+/// reproducible bit-for-bit from a seed.
+pub trait Node {
+    /// Wire message type exchanged between nodes of this stack.
+    ///
+    /// `WireSize` is required because executors charge the network model by
+    /// encoded size (the whole point of indirect consensus is how many bytes
+    /// consensus puts on the wire).
+    type Msg: Clone + fmt::Debug + WireSize;
+
+    /// Application command type (e.g. "a-broadcast this payload").
+    type Command;
+
+    /// Application output type (e.g. "a-delivered this message").
+    type Output;
+
+    /// Invoked once, before any other callback, when the system starts.
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg, Self::Output>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when the application issues a command.
+    fn on_command(&mut self, cmd: Self::Command, ctx: &mut Context<Self::Msg, Self::Output>) {
+        let _ = (cmd, ctx);
+    }
+
+    /// Invoked when a message from `from` arrives.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<Self::Msg, Self::Output>,
+    ) {
+        let _ = (from, msg, ctx);
+    }
+
+    /// Invoked when a timer set through the context expires.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<Self::Msg, Self::Output>) {
+        let _ = (timer, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_types::Time;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Unit;
+    impl WireSize for Unit {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+
+    struct Counter {
+        msgs: usize,
+        timers: usize,
+    }
+
+    impl Node for Counter {
+        type Msg = Unit;
+        type Command = ();
+        type Output = usize;
+
+        fn on_message(&mut self, _from: ProcessId, _msg: Unit, ctx: &mut Context<Unit, usize>) {
+            self.msgs += 1;
+            ctx.output(self.msgs);
+        }
+
+        fn on_timer(&mut self, _timer: TimerId, _ctx: &mut Context<Unit, usize>) {
+            self.timers += 1;
+        }
+    }
+
+    #[test]
+    fn default_callbacks_are_noops() {
+        struct Passive;
+        impl Node for Passive {
+            type Msg = Unit;
+            type Command = ();
+            type Output = ();
+        }
+        let mut node = Passive;
+        let mut ctx = Context::new(ProcessId::new(0), 1, Time::ZERO);
+        node.on_start(&mut ctx);
+        node.on_command((), &mut ctx);
+        node.on_message(ProcessId::new(0), Unit, &mut ctx);
+        node.on_timer(TimerId::new(0, 0), &mut ctx);
+        assert!(ctx.is_empty());
+    }
+
+    #[test]
+    fn overridden_callbacks_run() {
+        let mut node = Counter { msgs: 0, timers: 0 };
+        let mut ctx = Context::new(ProcessId::new(0), 1, Time::ZERO);
+        node.on_message(ProcessId::new(0), Unit, &mut ctx);
+        node.on_message(ProcessId::new(0), Unit, &mut ctx);
+        node.on_timer(TimerId::new(0, 0), &mut ctx);
+        assert_eq!(node.msgs, 2);
+        assert_eq!(node.timers, 1);
+        assert_eq!(ctx.take_actions().len(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Timer identifiers.
+
+use std::fmt;
+
+/// Identifies a timer set by a protocol.
+///
+/// Executors treat timer ids as opaque: when the deadline of a timer set via
+/// [`Context::set_timer`](crate::Context::set_timer) elapses, the node's
+/// [`Node::on_timer`](crate::Node::on_timer) is invoked with the same id.
+/// Timers are *not* cancellable — protocols are written to tolerate stale
+/// fires by checking their state (the usual sans-io discipline, and the only
+/// behaviour that is robust on real networks anyway).
+///
+/// The two fields are free for the protocol to use; composed stacks
+/// conventionally use `kind` to route to a sub-protocol and `data` for the
+/// sub-protocol's own multiplexing (round numbers, heartbeat slots, …).
+///
+/// # Example
+///
+/// ```
+/// use iabc_runtime::TimerId;
+/// const KIND_HEARTBEAT: u32 = 1;
+/// let t = TimerId::new(KIND_HEARTBEAT, 42);
+/// assert_eq!(t.kind(), 1);
+/// assert_eq!(t.data(), 42);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId {
+    kind: u32,
+    data: u64,
+}
+
+impl TimerId {
+    /// Creates a timer id from a protocol-chosen kind and payload.
+    pub const fn new(kind: u32, data: u64) -> Self {
+        TimerId { kind, data }
+    }
+
+    /// The routing tag.
+    pub const fn kind(self) -> u32 {
+        self.kind
+    }
+
+    /// The protocol-specific payload.
+    pub const fn data(self) -> u64 {
+        self.data
+    }
+}
+
+impl fmt::Debug for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Timer({}, {})", self.kind, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let t = TimerId::new(3, 999);
+        assert_eq!(t.kind(), 3);
+        assert_eq!(t.data(), 999);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", TimerId::new(1, 2)), "Timer(1, 2)");
+    }
+}

@@ -1,0 +1,123 @@
+//! Fault injection: crash schedules and quasi-reliable message loss.
+//!
+//! The paper's system model allows crash failures over *quasi-reliable*
+//! channels: a message from a process that crashes may be lost. The
+//! simulator realizes this two ways:
+//!
+//! 1. **Physically**: when a process crashes, everything still inside the
+//!    host (CPU send queue, NIC transmit queue) dies with it; only frames
+//!    that already left the NIC get delivered.
+//! 2. **Scripted** ([`SimWorld::set_drop_filter`]): tests can drop specific
+//!    messages of a crashing sender to reproduce the paper's §2.2
+//!    counterexample deterministically (the initiator's payload is lost but
+//!    its consensus traffic survives).
+//!
+//! [`SimWorld::set_drop_filter`]: crate::SimWorld::set_drop_filter
+
+use iabc_types::{ProcessId, Time};
+
+/// When each faulty process crashes.
+///
+/// # Example
+///
+/// ```
+/// use iabc_sim::CrashSchedule;
+/// use iabc_types::{ProcessId, Time, Duration};
+///
+/// let s = CrashSchedule::new()
+///     .crash(ProcessId::new(0), Time::ZERO + Duration::from_millis(10));
+/// assert_eq!(s.crashes().len(), 1);
+/// assert!(s.is_faulty(ProcessId::new(0)));
+/// assert!(!s.is_faulty(ProcessId::new(1)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashSchedule {
+    crashes: Vec<(ProcessId, Time)>,
+}
+
+impl CrashSchedule {
+    /// An empty (fault-free) schedule.
+    pub fn new() -> Self {
+        CrashSchedule::default()
+    }
+
+    /// Adds a crash of `p` at time `at` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` already has a scheduled crash.
+    pub fn crash(mut self, p: ProcessId, at: Time) -> Self {
+        assert!(
+            !self.is_faulty(p),
+            "process {p} already has a scheduled crash"
+        );
+        self.crashes.push((p, at));
+        self
+    }
+
+    /// The scheduled crashes.
+    pub fn crashes(&self) -> &[(ProcessId, Time)] {
+        &self.crashes
+    }
+
+    /// Whether `p` is scheduled to crash at some point.
+    pub fn is_faulty(&self, p: ProcessId) -> bool {
+        self.crashes.iter().any(|&(q, _)| q == p)
+    }
+
+    /// Number of faulty processes.
+    pub fn fault_count(&self) -> usize {
+        self.crashes.len()
+    }
+}
+
+/// A complete fault plan for a run. Currently crash-only (the paper's model
+/// has no Byzantine or recovery behaviour); message drops are configured on
+/// the world directly because they need access to the message type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Scheduled crashes.
+    pub crashes: CrashSchedule,
+}
+
+impl FaultPlan {
+    /// A fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with the given crash schedule.
+    pub fn with_crashes(crashes: CrashSchedule) -> Self {
+        FaultPlan { crashes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_types::Duration;
+
+    #[test]
+    fn schedule_tracks_faulty_processes() {
+        let s = CrashSchedule::new()
+            .crash(ProcessId::new(1), Time::ZERO + Duration::from_secs(1))
+            .crash(ProcessId::new(3), Time::ZERO + Duration::from_secs(2));
+        assert_eq!(s.fault_count(), 2);
+        assert!(s.is_faulty(ProcessId::new(1)));
+        assert!(s.is_faulty(ProcessId::new(3)));
+        assert!(!s.is_faulty(ProcessId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a scheduled crash")]
+    fn double_crash_panics() {
+        let _ = CrashSchedule::new()
+            .crash(ProcessId::new(0), Time::ZERO)
+            .crash(ProcessId::new(0), Time::ZERO);
+    }
+
+    #[test]
+    fn default_plan_is_fault_free() {
+        assert_eq!(FaultPlan::none().crashes.fault_count(), 0);
+    }
+}

@@ -1,0 +1,644 @@
+//! The simulation world: nodes, resources, event loop.
+
+use iabc_runtime::{Action, Context, Node, TimerId};
+use iabc_types::{Duration, ProcessId, Time, WireSize};
+
+use crate::faults::FaultPlan;
+use crate::network::NetworkParams;
+use crate::queue::EventQueue;
+use crate::resource::FifoResource;
+
+/// Why a `run_*` call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No events remain — the system is quiescent.
+    Quiescent,
+    /// The requested time horizon was reached with events still pending.
+    TimeLimitReached,
+    /// The event budget was exhausted (safety valve against livelock bugs).
+    EventLimitReached,
+}
+
+/// An application output produced by some process at some time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputRecord<O> {
+    /// When the output was produced (virtual time).
+    pub at: Time,
+    /// The producing process.
+    pub process: ProcessId,
+    /// The output value.
+    pub output: O,
+}
+
+/// Internal pipeline events. `M` is the node message type, `C` the command
+/// type. Message events carry the precomputed wire size so `wire_size()` is
+/// evaluated once per send.
+enum SimEvent<M, C> {
+    Command { p: ProcessId, cmd: C },
+    /// Sender CPU finished serializing; message enters the sender NIC.
+    SendCpuDone { from: ProcessId, to: ProcessId, bytes: usize, msg: M },
+    /// Frame left the sender NIC; starts propagating.
+    TxDone { from: ProcessId, to: ProcessId, bytes: usize, msg: M },
+    /// Frame reached the receiver NIC port.
+    RxArrive { from: ProcessId, to: ProcessId, bytes: usize, msg: M },
+    /// Frame fully received; enters receiver CPU.
+    RxDone { from: ProcessId, to: ProcessId, bytes: usize, msg: M },
+    /// Receiver CPU finished processing; deliver to the node.
+    RecvCpuDone { from: ProcessId, to: ProcessId, msg: M },
+    /// A self-send arriving through the loop-back path.
+    LoopbackArrive { p: ProcessId, msg: M },
+    TimerFired { p: ProcessId, timer: TimerId },
+    Crash { p: ProcessId },
+}
+
+/// Predicate deciding whether a message is silently lost
+/// (see [`SimWorld::set_drop_filter`]).
+pub type DropFilter<M> = Box<dyn FnMut(ProcessId, ProcessId, &M) -> bool>;
+
+/// Aggregate counters of a finished (or paused) run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Events processed so far.
+    pub events: u64,
+    /// `Send` actions accepted from nodes.
+    pub messages_sent: u64,
+    /// Messages handed to `on_message`.
+    pub messages_delivered: u64,
+    /// Messages removed by the drop filter.
+    pub messages_dropped: u64,
+    /// Messages lost because their sender crashed mid-pipeline.
+    pub messages_lost_to_crash: u64,
+    /// Per-process CPU busy time.
+    pub cpu_busy: Vec<Duration>,
+    /// Per-process NIC transmit busy time.
+    pub nic_tx_busy: Vec<Duration>,
+}
+
+/// Builder for [`SimWorld`].
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct SimBuilder {
+    n: usize,
+    params: NetworkParams,
+    faults: FaultPlan,
+    max_events: u64,
+}
+
+impl SimBuilder {
+    /// Starts configuring a world of `n` processes on the given network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 64`.
+    pub fn new(n: usize, params: NetworkParams) -> Self {
+        assert!(n >= 1 && n <= 64, "need 1 ≤ n ≤ 64 processes, got {n}");
+        SimBuilder { n, params, faults: FaultPlan::none(), max_events: 200_000_000 }
+    }
+
+    /// Installs a fault plan (scheduled crashes).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Sets the event budget after which runs abort with
+    /// [`StopReason::EventLimitReached`].
+    pub fn max_events(mut self, limit: u64) -> Self {
+        self.max_events = limit;
+        self
+    }
+
+    /// Builds the world, creating one node per process with `factory`.
+    pub fn build<N, F>(self, mut factory: F) -> SimWorld<N>
+    where
+        N: Node,
+        F: FnMut(ProcessId) -> N,
+    {
+        let nodes: Vec<N> = ProcessId::all(self.n).map(&mut factory).collect();
+        let mut world = SimWorld {
+            n: self.n,
+            params: self.params,
+            nodes,
+            crashed: vec![false; self.n],
+            cpu: vec![FifoResource::new(); self.n],
+            nic_tx: vec![FifoResource::new(); self.n],
+            nic_rx: vec![FifoResource::new(); self.n],
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            outputs: Vec::new(),
+            drop_filter: None,
+            stats: SimStats {
+                cpu_busy: vec![Duration::ZERO; self.n],
+                nic_tx_busy: vec![Duration::ZERO; self.n],
+                ..SimStats::default()
+            },
+            max_events: self.max_events,
+            started: false,
+        };
+        for &(p, at) in self.faults.crashes.crashes() {
+            world.schedule_crash(p, at);
+        }
+        world
+    }
+}
+
+/// A deterministic simulated execution of `n` copies of a protocol stack.
+///
+/// Drive it with [`SimWorld::run_to_quiescence`] or [`SimWorld::run_until`];
+/// inject application commands with [`SimWorld::schedule_command`]; inspect
+/// results via [`SimWorld::outputs`] and [`SimWorld::stats`].
+pub struct SimWorld<N: Node> {
+    n: usize,
+    params: NetworkParams,
+    nodes: Vec<N>,
+    crashed: Vec<bool>,
+    cpu: Vec<FifoResource>,
+    nic_tx: Vec<FifoResource>,
+    nic_rx: Vec<FifoResource>,
+    queue: EventQueue<SimEvent<N::Msg, N::Command>>,
+    now: Time,
+    outputs: Vec<OutputRecord<N::Output>>,
+    drop_filter: Option<DropFilter<N::Msg>>,
+    stats: SimStats,
+    max_events: u64,
+    started: bool,
+}
+
+impl<N: Node> SimWorld<N> {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Whether process `p` has crashed (so far).
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.crashed[p.as_usize()]
+    }
+
+    /// Read access to a node's protocol state (for tests and probes).
+    pub fn node(&self, p: ProcessId) -> &N {
+        &self.nodes[p.as_usize()]
+    }
+
+    /// Mutable access to a node's protocol state.
+    pub fn node_mut(&mut self, p: ProcessId) -> &mut N {
+        &mut self.nodes[p.as_usize()]
+    }
+
+    /// All outputs produced so far, in production order.
+    pub fn outputs(&self) -> &[OutputRecord<N::Output>] {
+        &self.outputs
+    }
+
+    /// Removes and returns all outputs produced so far.
+    pub fn drain_outputs(&mut self) -> Vec<OutputRecord<N::Output>> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Run counters and resource utilization.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Schedules an application command for process `p` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_command(&mut self, p: ProcessId, at: Time, cmd: N::Command) {
+        assert!(at >= self.now, "cannot schedule a command in the past");
+        self.queue.push(at, SimEvent::Command { p, cmd });
+    }
+
+    /// Schedules a crash of process `p` at time `at`.
+    ///
+    /// From `at` on, `p` processes no events; messages still queued inside
+    /// `p`'s host (CPU, NIC) are lost — the quasi-reliable channel model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_crash(&mut self, p: ProcessId, at: Time) {
+        assert!(at >= self.now, "cannot schedule a crash in the past");
+        self.queue.push(at, SimEvent::Crash { p });
+    }
+
+    /// Installs a message drop filter: any `Send` whose
+    /// `(from, to, msg)` the filter maps to `true` is silently lost.
+    ///
+    /// This models quasi-reliable channels under crashes — use it only to
+    /// drop messages whose sender crashes in the same run (the integration
+    /// tests reproducing §2.2 of the paper do exactly that) or to stress
+    /// safety under adversarial schedules.
+    pub fn set_drop_filter(&mut self, filter: DropFilter<N::Msg>) {
+        self.drop_filter = Some(filter);
+    }
+
+    /// Runs until no events remain, the time horizon `until` is passed, or
+    /// the event budget is exhausted.
+    pub fn run_until(&mut self, until: Time) -> StopReason {
+        self.ensure_started();
+        loop {
+            match self.queue.peek_time() {
+                None => return StopReason::Quiescent,
+                Some(t) if t > until => {
+                    self.now = until;
+                    return StopReason::TimeLimitReached;
+                }
+                Some(_) => {}
+            }
+            if self.stats.events >= self.max_events {
+                return StopReason::EventLimitReached;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until no events remain (or the event budget is exhausted).
+    ///
+    /// Note that stacks with periodic timers (heartbeat failure detectors)
+    /// never go quiescent; use [`SimWorld::run_until`] for those.
+    pub fn run_to_quiescence(&mut self) -> StopReason {
+        self.ensure_started();
+        while !self.queue.is_empty() {
+            if self.stats.events >= self.max_events {
+                return StopReason::EventLimitReached;
+            }
+            self.step();
+        }
+        StopReason::Quiescent
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for p in ProcessId::all(self.n) {
+            self.with_node(p, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    fn step(&mut self) {
+        let Some((t, ev)) = self.queue.pop() else { return };
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.stats.events += 1;
+        self.handle(ev);
+    }
+
+    fn handle(&mut self, ev: SimEvent<N::Msg, N::Command>) {
+        match ev {
+            SimEvent::Crash { p } => {
+                self.crashed[p.as_usize()] = true;
+            }
+            SimEvent::Command { p, cmd } => {
+                if self.alive(p) {
+                    self.with_node(p, |node, ctx| node.on_command(cmd, ctx));
+                }
+            }
+            SimEvent::TimerFired { p, timer } => {
+                if self.alive(p) {
+                    self.with_node(p, |node, ctx| node.on_timer(timer, ctx));
+                }
+            }
+            SimEvent::SendCpuDone { from, to, bytes, msg } => {
+                if !self.alive(from) {
+                    self.stats.messages_lost_to_crash += 1;
+                    return;
+                }
+                let tx = self.params.tx_time(bytes);
+                let done = self.nic_tx[from.as_usize()].acquire(self.now, tx);
+                self.queue.push(done, SimEvent::TxDone { from, to, bytes, msg });
+            }
+            SimEvent::TxDone { from, to, bytes, msg } => {
+                if !self.alive(from) {
+                    self.stats.messages_lost_to_crash += 1;
+                    return;
+                }
+                let arrive = self.now + self.params.propagation;
+                self.queue.push(arrive, SimEvent::RxArrive { from, to, bytes, msg });
+            }
+            SimEvent::RxArrive { from, to, bytes, msg } => {
+                if !self.alive(to) {
+                    return;
+                }
+                let tx = self.params.tx_time(bytes);
+                let done = self.nic_rx[to.as_usize()].acquire(self.now, tx);
+                self.queue.push(done, SimEvent::RxDone { from, to, bytes, msg });
+            }
+            SimEvent::RxDone { from, to, bytes, msg } => {
+                if !self.alive(to) {
+                    return;
+                }
+                let cost = self.params.recv_cpu(bytes);
+                let done = self.cpu[to.as_usize()].acquire(self.now, cost);
+                self.stats.cpu_busy[to.as_usize()] += cost;
+                self.queue.push(done, SimEvent::RecvCpuDone { from, to, msg });
+            }
+            SimEvent::LoopbackArrive { p, msg } => {
+                if !self.alive(p) {
+                    return;
+                }
+                let cost = self.params.local_recv_cpu;
+                let done = self.cpu[p.as_usize()].acquire(self.now, cost);
+                self.stats.cpu_busy[p.as_usize()] += cost;
+                self.queue.push(done, SimEvent::RecvCpuDone { from: p, to: p, msg });
+            }
+            SimEvent::RecvCpuDone { from, to, msg } => {
+                if !self.alive(to) {
+                    return;
+                }
+                self.stats.messages_delivered += 1;
+                self.with_node(to, |node, ctx| node.on_message(from, msg, ctx));
+            }
+        }
+    }
+
+    fn alive(&self, p: ProcessId) -> bool {
+        !self.crashed[p.as_usize()]
+    }
+
+    /// Runs a node callback and applies the actions it produced.
+    fn with_node(
+        &mut self,
+        p: ProcessId,
+        f: impl FnOnce(&mut N, &mut Context<N::Msg, N::Output>),
+    ) {
+        let mut ctx = Context::new(p, self.n, self.now);
+        f(&mut self.nodes[p.as_usize()], &mut ctx);
+        for action in ctx.take_actions() {
+            self.apply_action(p, action);
+        }
+    }
+
+    fn apply_action(&mut self, p: ProcessId, action: Action<N::Msg, N::Output>) {
+        match action {
+            Action::Send { to, msg } => {
+                if let Some(filter) = &mut self.drop_filter {
+                    if filter(p, to, &msg) {
+                        self.stats.messages_dropped += 1;
+                        return;
+                    }
+                }
+                self.stats.messages_sent += 1;
+                let pi = p.as_usize();
+                if to == p {
+                    let cost = self.params.local_send_cpu;
+                    let done = self.cpu[pi].acquire(self.now, cost);
+                    self.stats.cpu_busy[pi] += cost;
+                    self.queue
+                        .push(done + self.params.loopback_delay, SimEvent::LoopbackArrive { p, msg });
+                } else {
+                    let bytes = msg.wire_size();
+                    let cost = self.params.send_cpu(bytes);
+                    let done = self.cpu[pi].acquire(self.now, cost);
+                    self.stats.cpu_busy[pi] += cost;
+                    self.stats.nic_tx_busy[pi] += self.params.tx_time(bytes);
+                    self.queue.push(done, SimEvent::SendCpuDone { from: p, to, bytes, msg });
+                }
+            }
+            Action::SetTimer { delay, timer } => {
+                self.queue.push(self.now + delay, SimEvent::TimerFired { p, timer });
+            }
+            Action::Work { duration } => {
+                self.cpu[p.as_usize()].acquire(self.now, duration);
+                self.stats.cpu_busy[p.as_usize()] += duration;
+            }
+            Action::Output(output) => {
+                self.outputs.push(OutputRecord { at: self.now, process: p, output });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_runtime::TimerId;
+
+    /// One-byte test message.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Byte(u8);
+    impl WireSize for Byte {
+        fn wire_size(&self) -> usize {
+            1
+        }
+    }
+
+    /// Test node: on command `k`, sends `Byte(k)` to everyone (self
+    /// included); outputs every byte received.
+    struct Fanout;
+    impl Node for Fanout {
+        type Msg = Byte;
+        type Command = u8;
+        type Output = (ProcessId, u8);
+
+        fn on_command(&mut self, cmd: u8, ctx: &mut Context<Byte, (ProcessId, u8)>) {
+            ctx.send_to_all(Byte(cmd));
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: Byte, ctx: &mut Context<Byte, (ProcessId, u8)>) {
+            ctx.output((from, msg.0));
+        }
+    }
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn fanout_reaches_all_processes_including_self() {
+        let mut w = SimBuilder::new(3, NetworkParams::setup1()).build(|_| Fanout);
+        w.schedule_command(p(0), Time::ZERO, 7);
+        assert_eq!(w.run_to_quiescence(), StopReason::Quiescent);
+        assert_eq!(w.outputs().len(), 3);
+        for rec in w.outputs() {
+            assert_eq!(rec.output, (p(0), 7));
+        }
+        // Self-delivery uses the loop-back and is the fastest.
+        let self_rec = w.outputs().iter().find(|r| r.process == p(0)).unwrap();
+        let remote_rec = w.outputs().iter().find(|r| r.process == p(1)).unwrap();
+        assert!(self_rec.at < remote_rec.at);
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_traces() {
+        let run = || {
+            let mut w = SimBuilder::new(4, NetworkParams::setup1()).build(|_| Fanout);
+            for i in 0..50u8 {
+                let at = Time::ZERO + Duration::from_micros(i as u64 * 37);
+                w.schedule_command(p(u16::from(i) % 4), at, i);
+            }
+            w.run_to_quiescence();
+            w.drain_outputs()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn big_messages_take_longer_than_small_ones() {
+        #[derive(Clone, Debug)]
+        struct Sized(usize);
+        impl WireSize for Sized {
+            fn wire_size(&self) -> usize {
+                self.0
+            }
+        }
+        struct Sender;
+        impl Node for Sender {
+            type Msg = Sized;
+            type Command = usize;
+            type Output = usize;
+            fn on_command(&mut self, size: usize, ctx: &mut Context<Sized, usize>) {
+                ctx.send(ProcessId::new(1), Sized(size));
+            }
+            fn on_message(&mut self, _f: ProcessId, m: Sized, ctx: &mut Context<Sized, usize>) {
+                ctx.output(m.0);
+            }
+        }
+        let latency_of = |size: usize| {
+            let mut w = SimBuilder::new(2, NetworkParams::setup1()).build(|_| Sender);
+            w.schedule_command(p(0), Time::ZERO, size);
+            w.run_to_quiescence();
+            w.outputs()[0].at
+        };
+        assert!(latency_of(5000) > latency_of(10));
+    }
+
+    #[test]
+    fn crashed_process_stops_processing() {
+        let mut w = SimBuilder::new(3, NetworkParams::setup1()).build(|_| Fanout);
+        w.schedule_crash(p(2), Time::ZERO + Duration::from_micros(1));
+        // Command arrives after the crash: ignored.
+        w.schedule_command(p(2), Time::ZERO + Duration::from_millis(1), 9);
+        // A healthy process broadcasts; p2 must not deliver.
+        w.schedule_command(p(0), Time::ZERO + Duration::from_millis(1), 5);
+        w.run_to_quiescence();
+        assert!(w.is_crashed(p(2)));
+        assert!(w.outputs().iter().all(|r| r.process != p(2)));
+        // p0 and p1 still delivered p0's fanout.
+        assert_eq!(w.outputs().iter().filter(|r| r.output == (p(0), 5)).count(), 2);
+    }
+
+    #[test]
+    fn crash_loses_messages_still_inside_the_host() {
+        // p0 fans out and crashes immediately after the send action: the
+        // copies are still in p0's CPU/NIC pipeline, so nobody receives them.
+        let mut w = SimBuilder::new(3, NetworkParams::setup1()).build(|_| Fanout);
+        w.schedule_command(p(0), Time::ZERO, 1);
+        w.schedule_crash(p(0), Time::ZERO + Duration::from_nanos(1));
+        w.run_to_quiescence();
+        assert_eq!(w.outputs().len(), 0);
+        assert!(w.stats().messages_lost_to_crash > 0);
+    }
+
+    #[test]
+    fn drop_filter_removes_selected_messages() {
+        let mut w = SimBuilder::new(3, NetworkParams::setup1()).build(|_| Fanout);
+        // Drop everything p0 sends to p2.
+        w.set_drop_filter(Box::new(|from, to, _m| from == p(0) && to == p(2)));
+        w.schedule_command(p(0), Time::ZERO, 3);
+        w.run_to_quiescence();
+        let receivers: Vec<_> = w.outputs().iter().map(|r| r.process).collect();
+        assert!(receivers.contains(&p(0)));
+        assert!(receivers.contains(&p(1)));
+        assert!(!receivers.contains(&p(2)));
+        assert_eq!(w.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut w = SimBuilder::new(2, NetworkParams::setup1()).build(|_| Fanout);
+        let late = Time::ZERO + Duration::from_secs(10);
+        w.schedule_command(p(0), late, 1);
+        let r = w.run_until(Time::ZERO + Duration::from_secs(1));
+        assert_eq!(r, StopReason::TimeLimitReached);
+        assert_eq!(w.now(), Time::ZERO + Duration::from_secs(1));
+        assert!(w.outputs().is_empty());
+        assert_eq!(w.run_to_quiescence(), StopReason::Quiescent);
+        assert_eq!(w.outputs().len(), 2);
+    }
+
+    #[test]
+    fn event_budget_guards_against_livelock() {
+        // A node that ping-pongs with itself forever.
+        struct Loopy;
+        impl Node for Loopy {
+            type Msg = Byte;
+            type Command = ();
+            type Output = ();
+            fn on_start(&mut self, ctx: &mut Context<Byte, ()>) {
+                ctx.send(ctx.me(), Byte(0));
+            }
+            fn on_message(&mut self, _f: ProcessId, m: Byte, ctx: &mut Context<Byte, ()>) {
+                ctx.send(ctx.me(), m);
+            }
+        }
+        let mut w = SimBuilder::new(1, NetworkParams::setup1()).max_events(1000).build(|_| Loopy);
+        assert_eq!(w.run_to_quiescence(), StopReason::EventLimitReached);
+    }
+
+    #[test]
+    fn timers_fire_at_requested_delay() {
+        struct Alarm;
+        impl Node for Alarm {
+            type Msg = Byte;
+            type Command = ();
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut Context<Byte, u64>) {
+                ctx.set_timer(Duration::from_millis(5), TimerId::new(1, 11));
+            }
+            fn on_timer(&mut self, t: TimerId, ctx: &mut Context<Byte, u64>) {
+                ctx.output(t.data());
+            }
+        }
+        let mut w = SimBuilder::new(1, NetworkParams::setup1()).build(|_| Alarm);
+        w.run_to_quiescence();
+        assert_eq!(w.outputs().len(), 1);
+        assert_eq!(w.outputs()[0].at, Time::ZERO + Duration::from_millis(5));
+        assert_eq!(w.outputs()[0].output, 11);
+    }
+
+    #[test]
+    fn nic_serializes_concurrent_sends() {
+        // Two large messages to different destinations must serialize on the
+        // sender NIC: second arrives roughly one transmission time later.
+        #[derive(Clone, Debug)]
+        struct Big;
+        impl WireSize for Big {
+            fn wire_size(&self) -> usize {
+                12_442 // + 58 header = 12.5 KB = 1 ms at 12.5 MB/s
+            }
+        }
+        struct Burst;
+        impl Node for Burst {
+            type Msg = Big;
+            type Command = ();
+            type Output = ();
+            fn on_command(&mut self, _c: (), ctx: &mut Context<Big, ()>) {
+                ctx.send(ProcessId::new(1), Big);
+                ctx.send(ProcessId::new(2), Big);
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: Big, ctx: &mut Context<Big, ()>) {
+                ctx.output(());
+            }
+        }
+        let mut w = SimBuilder::new(3, NetworkParams::setup1()).build(|_| Burst);
+        w.schedule_command(p(0), Time::ZERO, ());
+        w.run_to_quiescence();
+        let mut times: Vec<Time> = w.outputs().iter().map(|r| r.at).collect();
+        times.sort();
+        let gap = times[1].elapsed_since(times[0]);
+        // The NIC gap should be ≈ 1 transmission time (1 ms), well above the
+        // CPU-only gap (~200 µs).
+        assert!(gap >= Duration::from_micros(900), "gap was {gap}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the simulator: per-link FIFO ordering, latency
+//! monotonicity in message size, and trace determinism.
+
+use iabc_runtime::{Context, Node};
+use iabc_sim::{NetworkParams, SimBuilder};
+use iabc_types::{Duration, ProcessId, Time, WireSize};
+use proptest::prelude::*;
+
+/// A message with an explicit sequence number and size.
+#[derive(Clone, Debug, PartialEq)]
+struct SeqMsg {
+    seq: u64,
+    size: usize,
+}
+
+impl WireSize for SeqMsg {
+    fn wire_size(&self) -> usize {
+        self.size
+    }
+}
+
+/// Sends pre-programmed messages to p1 when commanded; p1 records arrivals.
+struct Pipe;
+
+impl Node for Pipe {
+    type Msg = SeqMsg;
+    type Command = SeqMsg;
+    type Output = u64;
+
+    fn on_command(&mut self, cmd: SeqMsg, ctx: &mut Context<SeqMsg, u64>) {
+        ctx.send(ProcessId::new(1), cmd);
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: SeqMsg, ctx: &mut Context<SeqMsg, u64>) {
+        ctx.output(msg.seq);
+    }
+}
+
+proptest! {
+    /// Messages sent on one link arrive in send order (FIFO links), no
+    /// matter the sizes involved: big frames must not be overtaken.
+    #[test]
+    fn links_are_fifo(sizes in proptest::collection::vec(1usize..4096, 1..40)) {
+        let mut world = SimBuilder::new(2, NetworkParams::setup1()).build(|_| Pipe);
+        for (i, &size) in sizes.iter().enumerate() {
+            world.schedule_command(
+                ProcessId::new(0),
+                Time::ZERO + Duration::from_micros(i as u64),
+                SeqMsg { seq: i as u64, size },
+            );
+        }
+        world.run_to_quiescence();
+        let arrived: Vec<u64> = world.outputs().iter().map(|r| r.output).collect();
+        let expected: Vec<u64> = (0..sizes.len() as u64).collect();
+        prop_assert_eq!(arrived, expected, "link reordered messages");
+    }
+
+    /// One-way latency is monotone in message size (same network, same
+    /// instant, bigger frame ⇒ later arrival).
+    #[test]
+    fn latency_is_monotone_in_size(a in 1usize..100_000, b in 1usize..100_000) {
+        let latency_of = |size: usize| {
+            let mut world = SimBuilder::new(2, NetworkParams::setup1()).build(|_| Pipe);
+            world.schedule_command(ProcessId::new(0), Time::ZERO, SeqMsg { seq: 0, size });
+            world.run_to_quiescence();
+            world.outputs()[0].at
+        };
+        let (small, big) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(latency_of(small) <= latency_of(big));
+    }
+
+    /// Identical schedules produce identical traces (determinism).
+    #[test]
+    fn traces_replay_identically(
+        sched in proptest::collection::vec((0u64..10_000, 1usize..512), 1..30),
+    ) {
+        let run = || {
+            let mut world = SimBuilder::new(2, NetworkParams::setup2()).build(|_| Pipe);
+            for (i, &(at, size)) in sched.iter().enumerate() {
+                world.schedule_command(
+                    ProcessId::new(0),
+                    Time::ZERO + Duration::from_micros(at),
+                    SeqMsg { seq: i as u64, size },
+                );
+            }
+            world.run_to_quiescence();
+            world.outputs().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The sum of CPU busy time never exceeds elapsed virtual time × n
+    /// (no resource can be more than 100% utilized).
+    #[test]
+    fn utilization_never_exceeds_one(count in 1usize..60) {
+        let mut world = SimBuilder::new(2, NetworkParams::setup1()).build(|_| Pipe);
+        for i in 0..count {
+            world.schedule_command(
+                ProcessId::new(0),
+                Time::ZERO + Duration::from_micros(i as u64 * 3),
+                SeqMsg { seq: i as u64, size: 256 },
+            );
+        }
+        world.run_to_quiescence();
+        let horizon = world.now();
+        prop_assert!(horizon > Time::ZERO);
+        for busy in &world.stats().cpu_busy {
+            prop_assert!(busy.as_nanos() <= horizon.as_nanos());
+        }
+    }
+}

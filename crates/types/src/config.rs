@@ -1,0 +1,125 @@
+//! Static system configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+use crate::process::ProcessId;
+use crate::quorum;
+
+/// The static membership of the system: `n` processes `p_0 … p_{n-1}` and the
+/// assumed bound `f` on the number of crash failures.
+///
+/// The paper's algorithms never change membership; all resilience statements
+/// (`f < n/2` for CT, `f < n/3` for indirect MR) are with respect to this
+/// configuration.
+///
+/// # Example
+///
+/// ```
+/// use iabc_types::SystemConfig;
+/// let cfg = SystemConfig::new(5).unwrap();
+/// assert_eq!(cfg.n(), 5);
+/// assert_eq!(cfg.majority(), 3);
+/// assert_eq!(cfg.max_faults_majority(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    n: usize,
+}
+
+impl SystemConfig {
+    /// Creates a configuration for `n` processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidSystemSize`] unless `1 ≤ n ≤ 64`.
+    pub fn new(n: usize) -> Result<Self, ConfigError> {
+        if n == 0 || n > 64 {
+            return Err(ConfigError::InvalidSystemSize { n });
+        }
+        Ok(SystemConfig { n })
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// All process ids of the system.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + Clone {
+        ProcessId::all(self.n)
+    }
+
+    /// `⌈(n+1)/2⌉`, the Chandra–Toueg quorum.
+    pub fn majority(&self) -> usize {
+        quorum::majority(self.n)
+    }
+
+    /// `⌈(2n+1)/3⌉`, the indirect-MR Phase-2 quorum.
+    pub fn two_thirds(&self) -> usize {
+        quorum::two_thirds(self.n)
+    }
+
+    /// `⌈(n+1)/3⌉`, the indirect-MR adoption threshold.
+    pub fn one_third(&self) -> usize {
+        quorum::one_third(self.n)
+    }
+
+    /// Largest `f` with `f < n/2`.
+    pub fn max_faults_majority(&self) -> usize {
+        quorum::max_faults_majority(self.n)
+    }
+
+    /// Largest `f` with `f < n/3`.
+    pub fn max_faults_third(&self) -> usize {
+        quorum::max_faults_third(self.n)
+    }
+
+    /// Validates a fault bound against a quorum requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::FaultBoundTooHigh`] if `f` exceeds `max`.
+    pub fn check_fault_bound(&self, f: usize, max: usize) -> Result<(), ConfigError> {
+        if f > max {
+            return Err(ConfigError::FaultBoundTooHigh { f, max });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_sizes() {
+        assert!(SystemConfig::new(0).is_err());
+        assert!(SystemConfig::new(65).is_err());
+        assert!(SystemConfig::new(1).is_ok());
+        assert!(SystemConfig::new(64).is_ok());
+    }
+
+    #[test]
+    fn quorums_for_paper_systems() {
+        let c3 = SystemConfig::new(3).unwrap();
+        assert_eq!((c3.majority(), c3.two_thirds(), c3.one_third()), (2, 3, 2));
+        let c5 = SystemConfig::new(5).unwrap();
+        assert_eq!((c5.majority(), c5.two_thirds(), c5.one_third()), (3, 4, 2));
+    }
+
+    #[test]
+    fn fault_bound_check() {
+        let c = SystemConfig::new(4).unwrap();
+        assert!(c.check_fault_bound(1, c.max_faults_majority()).is_ok());
+        assert!(c.check_fault_bound(2, c.max_faults_third()).is_err());
+    }
+
+    #[test]
+    fn processes_enumerates_all() {
+        let c = SystemConfig::new(3).unwrap();
+        let ids: Vec<_> = c.processes().collect();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[2], ProcessId::new(2));
+    }
+}

@@ -1,0 +1,266 @@
+//! Sets of message identifiers — the values on which *indirect consensus*
+//! decides.
+//!
+//! An [`IdSet`] is the `v` of the paper's proposal pair `(v, rcv)`: a set of
+//! message identifiers. It is stored as a sorted vector, so iteration order
+//! *is* the deterministic order of Algorithm 1 line 20, and set operations
+//! are linear merges.
+
+use std::fmt;
+
+use crate::message::MsgId;
+use crate::wire::{Decode, Encode, WireSize};
+use crate::CodecError;
+
+/// A sorted set of message identifiers.
+///
+/// # Example
+///
+/// ```
+/// use iabc_types::{IdSet, MsgId, ProcessId};
+/// let mut v = IdSet::new();
+/// v.insert(MsgId::new(ProcessId::new(1), 0));
+/// v.insert(MsgId::new(ProcessId::new(0), 0));
+/// // iteration follows the deterministic (sender, seq) order:
+/// let order: Vec<_> = v.iter().map(|id| id.sender().index()).collect();
+/// assert_eq!(order, vec![0, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct IdSet {
+    // Sorted, deduplicated.
+    ids: Vec<MsgId>,
+}
+
+impl IdSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IdSet { ids: Vec::new() }
+    }
+
+    /// Creates a set from an iterator of ids (sorting and deduplicating).
+    pub fn from_ids(iter: impl IntoIterator<Item = MsgId>) -> Self {
+        let mut ids: Vec<MsgId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        IdSet { ids }
+    }
+
+    /// Inserts an id; returns `true` if it was not already present.
+    pub fn insert(&mut self, id: MsgId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Removes an id; returns `true` if it was present.
+    pub fn remove(&mut self, id: MsgId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether `id` is a member.
+    pub fn contains(&self, id: MsgId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates ids in the deterministic `(sender, seq)` order.
+    pub fn iter(&self) -> impl Iterator<Item = MsgId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// The ids as a sorted slice.
+    pub fn as_slice(&self) -> &[MsgId] {
+        &self.ids
+    }
+
+    /// Removes every id of `other` from `self`
+    /// (Algorithm 1 line 19: `unordered ← unordered \ idSet`).
+    pub fn subtract(&mut self, other: &IdSet) {
+        if other.is_empty() || self.is_empty() {
+            return;
+        }
+        self.ids.retain(|id| !other.contains(*id));
+    }
+
+    /// Union of two sets (linear merge).
+    pub fn union(&self, other: &IdSet) -> IdSet {
+        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            use std::cmp::Ordering::*;
+            match self.ids[i].cmp(&other.ids[j]) {
+                Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        IdSet { ids: out }
+    }
+}
+
+impl fmt::Debug for IdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.ids.iter()).finish()
+    }
+}
+
+impl FromIterator<MsgId> for IdSet {
+    fn from_iter<I: IntoIterator<Item = MsgId>>(iter: I) -> Self {
+        IdSet::from_ids(iter)
+    }
+}
+
+impl Extend<MsgId> for IdSet {
+    fn extend<I: IntoIterator<Item = MsgId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a IdSet {
+    type Item = MsgId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, MsgId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied()
+    }
+}
+
+impl WireSize for IdSet {
+    fn wire_size(&self) -> usize {
+        4 + self.ids.len() * 10
+    }
+}
+
+impl Encode for IdSet {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.ids.len() as u32).encode(buf);
+        for id in &self.ids {
+            id.encode(buf);
+        }
+    }
+}
+
+impl Decode for IdSet {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as usize;
+        let mut ids = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            ids.push(MsgId::decode(buf)?);
+        }
+        // Defensive: a well-formed encoder emits sorted ids, but a decoder
+        // must not trust its input to uphold the sortedness invariant.
+        ids.sort_unstable();
+        ids.dedup();
+        Ok(IdSet { ids })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessId;
+    use crate::wire::roundtrip;
+
+    fn id(p: u16, s: u64) -> MsgId {
+        MsgId::new(ProcessId::new(p), s)
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut v = IdSet::new();
+        assert!(v.insert(id(1, 2)));
+        assert!(v.insert(id(0, 7)));
+        assert!(v.insert(id(1, 0)));
+        assert!(!v.insert(id(1, 2)));
+        let got: Vec<_> = v.iter().collect();
+        assert_eq!(got, vec![id(0, 7), id(1, 0), id(1, 2)]);
+    }
+
+    #[test]
+    fn from_ids_dedups() {
+        let v = IdSet::from_ids(vec![id(0, 1), id(0, 1), id(0, 0)]);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn subtract_removes_members() {
+        let mut a = IdSet::from_ids(vec![id(0, 0), id(0, 1), id(1, 0)]);
+        let b = IdSet::from_ids(vec![id(0, 1), id(2, 2)]);
+        a.subtract(&b);
+        assert_eq!(a, IdSet::from_ids(vec![id(0, 0), id(1, 0)]));
+    }
+
+    #[test]
+    fn union_merges_without_duplicates() {
+        let a = IdSet::from_ids(vec![id(0, 0), id(1, 0)]);
+        let b = IdSet::from_ids(vec![id(0, 0), id(2, 0)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(id(0, 0)) && u.contains(id(1, 0)) && u.contains(id(2, 0)));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut v = IdSet::from_ids(vec![id(0, 0), id(1, 1)]);
+        assert!(v.contains(id(1, 1)));
+        assert!(v.remove(id(1, 1)));
+        assert!(!v.remove(id(1, 1)));
+        assert!(!v.contains(id(1, 1)));
+    }
+
+    #[test]
+    fn wire_size_is_ten_bytes_per_id_plus_header() {
+        let v = IdSet::from_ids((0..5).map(|s| id(0, s)));
+        assert_eq!(v.wire_size(), 4 + 50);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let v = IdSet::from_ids((0..100).map(|s| id((s % 7) as u16, s)));
+        assert_eq!(roundtrip(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn decode_sorts_untrusted_input() {
+        // Hand-encode out-of-order ids; decode must restore the invariant.
+        let mut buf = Vec::new();
+        2u32.encode(&mut buf);
+        id(5, 5).encode(&mut buf);
+        id(0, 0).encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let v = IdSet::decode(&mut slice).unwrap();
+        assert_eq!(v.as_slice(), &[id(0, 0), id(5, 5)]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Application messages and their unique identifiers.
+//!
+//! Every message `m` that is a-broadcast carries a globally unique identifier
+//! `id(m)` (Algorithm 1, line 4 of the paper). We realize `id(m)` as the pair
+//! *(sender, per-sender sequence number)*, which is unique without any
+//! coordination and totally ordered — the total order over `MsgId` is used as
+//! the deterministic order of Algorithm 1 line 20.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::process::ProcessId;
+use crate::time::Time;
+use crate::wire::{Decode, Encode, WireSize};
+use crate::CodecError;
+
+/// Globally unique message identifier: `(sender, per-sender sequence)`.
+///
+/// The derived lexicographic `Ord` (sender first, then sequence) is the
+/// *deterministic order* used to linearize a decided identifier set
+/// (Algorithm 1, line 20).
+///
+/// # Example
+///
+/// ```
+/// use iabc_types::{MsgId, ProcessId};
+/// let a = MsgId::new(ProcessId::new(0), 5);
+/// let b = MsgId::new(ProcessId::new(1), 1);
+/// assert!(a < b); // ordered by sender first
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId {
+    sender: ProcessId,
+    seq: u64,
+}
+
+impl MsgId {
+    /// Creates the identifier of the `seq`-th message a-broadcast by `sender`.
+    pub const fn new(sender: ProcessId, seq: u64) -> Self {
+        MsgId { sender, seq }
+    }
+
+    /// The process that a-broadcast the message.
+    pub const fn sender(self) -> ProcessId {
+        self.sender
+    }
+
+    /// The per-sender sequence number.
+    pub const fn seq(self) -> u64 {
+        self.seq
+    }
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.sender, self.seq)
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl WireSize for MsgId {
+    fn wire_size(&self) -> usize {
+        2 + 8
+    }
+}
+
+impl Encode for MsgId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.sender.encode(buf);
+        self.seq.encode(buf);
+    }
+}
+
+impl Decode for MsgId {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let sender = ProcessId::decode(buf)?;
+        let seq = u64::decode(buf)?;
+        Ok(MsgId { sender, seq })
+    }
+}
+
+/// An application payload.
+///
+/// Payloads are reference-counted so that the simulator can fan a message out
+/// to `n` destinations (and consensus-on-messages can embed whole message
+/// sets in its estimates) without copying the bytes; the *wire size* still
+/// reports the full payload length so the contention model charges each copy.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Creates a payload from raw bytes.
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
+        Payload(bytes.into())
+    }
+
+    /// Creates an all-zero payload of the given size — the synthetic payloads
+    /// used by the paper's symmetric workload (message size is the parameter
+    /// swept in Figures 1 and 4–6).
+    pub fn zeroed(size: usize) -> Self {
+        Payload(vec![0u8; size].into())
+    }
+
+    /// The payload bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({}B)", self.len())
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(v.into())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload(v.into())
+    }
+}
+
+impl WireSize for Payload {
+    fn wire_size(&self) -> usize {
+        4 + self.0.len()
+    }
+}
+
+impl Encode for Payload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.0.len() as u32).encode(buf);
+        buf.extend_from_slice(&self.0);
+    }
+}
+
+impl Decode for Payload {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as usize;
+        if buf.len() < len {
+            return Err(CodecError::Truncated { need: len, have: buf.len() });
+        }
+        let (head, rest) = buf.split_at(len);
+        let payload = Payload(head.into());
+        *buf = rest;
+        Ok(payload)
+    }
+}
+
+/// A full application message: identifier plus payload, stamped with the
+/// (virtual) time at which it was a-broadcast.
+///
+/// The broadcast timestamp travels with the message so that *every* process
+/// can compute the paper's latency metric (time from `abroadcast(m)` to its
+/// own `adeliver(m)`) locally; it contributes 8 bytes to the wire size, a
+/// stand-in for the sequencing headers a real stack would carry.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AppMessage {
+    id: MsgId,
+    payload: Payload,
+    broadcast_at: Time,
+}
+
+impl AppMessage {
+    /// Creates a message with the given identity and payload.
+    pub fn new(id: MsgId, payload: Payload, broadcast_at: Time) -> Self {
+        AppMessage { id, payload, broadcast_at }
+    }
+
+    /// The unique identifier `id(m)`.
+    pub fn id(&self) -> MsgId {
+        self.id
+    }
+
+    /// The application payload.
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+
+    /// When the message was a-broadcast (virtual time).
+    pub fn broadcast_at(&self) -> Time {
+        self.broadcast_at
+    }
+}
+
+impl fmt::Debug for AppMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AppMessage({:?}, {}B)", self.id, self.payload.len())
+    }
+}
+
+impl WireSize for AppMessage {
+    fn wire_size(&self) -> usize {
+        self.id.wire_size() + self.payload.wire_size() + 8
+    }
+}
+
+impl Encode for AppMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.payload.encode(buf);
+        self.broadcast_at.as_nanos().encode(buf);
+    }
+}
+
+impl Decode for AppMessage {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let id = MsgId::decode(buf)?;
+        let payload = Payload::decode(buf)?;
+        let at = u64::decode(buf)?;
+        Ok(AppMessage { id, payload, broadcast_at: Time::from_nanos(at) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::roundtrip;
+
+    #[test]
+    fn msg_id_orders_by_sender_then_seq() {
+        let a = MsgId::new(ProcessId::new(0), 9);
+        let b = MsgId::new(ProcessId::new(1), 0);
+        let c = MsgId::new(ProcessId::new(1), 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn msg_id_codec_roundtrip() {
+        let id = MsgId::new(ProcessId::new(7), 0xDEAD_BEEF);
+        assert_eq!(roundtrip(&id).unwrap(), id);
+    }
+
+    #[test]
+    fn payload_zeroed_has_requested_len() {
+        let p = Payload::zeroed(1024);
+        assert_eq!(p.len(), 1024);
+        assert!(!p.is_empty());
+        assert!(Payload::zeroed(0).is_empty());
+    }
+
+    #[test]
+    fn payload_wire_size_includes_length_prefix() {
+        let p = Payload::zeroed(100);
+        assert_eq!(p.wire_size(), 104);
+        assert_eq!(roundtrip(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn payload_clone_shares_bytes() {
+        let p = Payload::zeroed(1 << 20);
+        let q = p.clone();
+        assert_eq!(p.bytes().as_ptr(), q.bytes().as_ptr());
+    }
+
+    #[test]
+    fn app_message_roundtrip_preserves_timestamp() {
+        let m = AppMessage::new(
+            MsgId::new(ProcessId::new(2), 3),
+            Payload::from(vec![1, 2, 3]),
+            Time::from_nanos(42),
+        );
+        let back = roundtrip(&m).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.broadcast_at(), Time::from_nanos(42));
+    }
+
+    #[test]
+    fn truncated_payload_decode_fails() {
+        let p = Payload::zeroed(16);
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        buf.truncate(10);
+        let mut slice = buf.as_slice();
+        assert!(Payload::decode(&mut slice).is_err());
+    }
+}

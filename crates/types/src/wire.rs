@@ -1,0 +1,269 @@
+//! A small, explicit wire codec.
+//!
+//! The codec serves two purposes:
+//!
+//! 1. **Real transports** (`iabc-net`) serialize protocol envelopes with
+//!    [`Encode`]/[`Decode`].
+//! 2. **The simulator** never serializes — it moves values — but it charges
+//!    the network model with [`WireSize::wire_size`], which is defined to be
+//!    *exactly* the number of bytes [`Encode`] produces (an invariant the
+//!    test-suite checks for every message type via [`check_size_invariant`]).
+//!
+//! Keeping sizes honest matters: the paper's entire argument is about how
+//! many bytes consensus puts on the wire (full messages vs. 10-byte ids).
+//!
+//! All integers are encoded little-endian, fixed-width.
+
+use crate::error::CodecError;
+
+/// Number of bytes a value occupies when encoded.
+///
+/// Implementations must satisfy `encode(v).len() == v.wire_size()`;
+/// [`check_size_invariant`] asserts this in tests.
+pub trait WireSize {
+    /// Exact encoded size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// Serialize a value into a byte buffer.
+pub trait Encode: WireSize {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Convenience: encode into a fresh vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_size());
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Deserialize a value from a byte slice, advancing the slice.
+pub trait Decode: Sized {
+    /// Decodes a value from the front of `buf`, advancing it past the
+    /// consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the buffer is truncated or contains an
+    /// invalid encoding.
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Convenience: decode from a complete buffer, requiring that every byte
+    /// is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::TrailingBytes`] if the buffer is longer than
+    /// one encoded value, or any error from [`Decode::decode`].
+    fn from_bytes(mut buf: &[u8]) -> Result<Self, CodecError> {
+        let v = Self::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(CodecError::TrailingBytes { count: buf.len() });
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_codec_for_int {
+    ($($ty:ty),*) => {
+        $(
+            impl WireSize for $ty {
+                fn wire_size(&self) -> usize {
+                    std::mem::size_of::<$ty>()
+                }
+            }
+            impl Encode for $ty {
+                fn encode(&self, buf: &mut Vec<u8>) {
+                    buf.extend_from_slice(&self.to_le_bytes());
+                }
+            }
+            impl Decode for $ty {
+                fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+                    const N: usize = std::mem::size_of::<$ty>();
+                    if buf.len() < N {
+                        return Err(CodecError::Truncated { need: N, have: buf.len() });
+                    }
+                    let (head, rest) = buf.split_at(N);
+                    *buf = rest;
+                    Ok(<$ty>::from_le_bytes(head.try_into().expect("split_at returns N bytes")))
+                }
+            }
+        )*
+    };
+}
+
+impl_codec_for_int!(u8, u16, u32, u64);
+
+impl WireSize for bool {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::InvalidTag { tag: other, context: "bool" }),
+        }
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode + WireSize> Decode for Option<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            other => Err(CodecError::InvalidTag { tag: other, context: "Option" }),
+        }
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode + WireSize> Decode for Vec<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Test helper: encode then decode a value, checking the
+/// `wire_size == encoded length` invariant on the way.
+///
+/// # Errors
+///
+/// Propagates any decode error.
+///
+/// # Panics
+///
+/// Panics if the encoded length differs from `wire_size()`.
+pub fn roundtrip<T: Encode + Decode>(value: &T) -> Result<T, CodecError> {
+    let bytes = value.to_bytes();
+    assert_eq!(
+        bytes.len(),
+        value.wire_size(),
+        "wire_size invariant violated: encoded {} bytes but wire_size() = {}",
+        bytes.len(),
+        value.wire_size()
+    );
+    T::from_bytes(&bytes)
+}
+
+/// Asserts the `wire_size == encoded length` invariant for a value.
+///
+/// # Panics
+///
+/// Panics if the invariant does not hold.
+pub fn check_size_invariant<T: Encode>(value: &T) {
+    let bytes = value.to_bytes();
+    assert_eq!(
+        bytes.len(),
+        value.wire_size(),
+        "wire_size invariant violated: encoded {} bytes but wire_size() = {}",
+        bytes.len(),
+        value.wire_size()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrips() {
+        assert_eq!(roundtrip(&0xABu8).unwrap(), 0xAB);
+        assert_eq!(roundtrip(&0xABCDu16).unwrap(), 0xABCD);
+        assert_eq!(roundtrip(&0xABCD_EF01u32).unwrap(), 0xABCD_EF01);
+        assert_eq!(roundtrip(&u64::MAX).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn bool_roundtrips_and_rejects_garbage() {
+        assert!(roundtrip(&true).unwrap());
+        assert!(!roundtrip(&false).unwrap());
+        let mut bad: &[u8] = &[7];
+        assert!(matches!(bool::decode(&mut bad), Err(CodecError::InvalidTag { .. })));
+    }
+
+    #[test]
+    fn option_roundtrips() {
+        assert_eq!(roundtrip(&Some(5u32)).unwrap(), Some(5));
+        assert_eq!(roundtrip(&None::<u32>).unwrap(), None);
+    }
+
+    #[test]
+    fn vec_roundtrips() {
+        let v: Vec<u16> = (0..100).collect();
+        assert_eq!(roundtrip(&v).unwrap(), v);
+        let empty: Vec<u16> = vec![];
+        assert_eq!(roundtrip(&empty).unwrap(), empty);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf: &[u8] = &[1, 2];
+        assert!(matches!(
+            u32::decode(&mut buf),
+            Err(CodecError::Truncated { need: 4, have: 2 })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut bytes = 5u16.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u16::from_bytes(&bytes),
+            Err(CodecError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        assert_eq!(0x0102u16.to_bytes(), vec![0x02, 0x01]);
+    }
+}

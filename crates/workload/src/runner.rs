@@ -1,0 +1,315 @@
+//! The experiment runner: one stack, one load point, one latency number.
+
+use iabc_core::stacks::{self, StackParams};
+use iabc_core::{AbcastCommand, AbcastEvent, ConsensusFamily, CostModel, RbKind, VariantKind};
+use iabc_core::stacks::FdKind;
+use iabc_runtime::Node;
+use iabc_sim::{NetworkParams, SimBuilder, StopReason};
+use iabc_types::{Duration, Payload, ProcessId, Time};
+
+use crate::gen::{arrival_schedule, ArrivalKind};
+use crate::stats::LatencyStats;
+
+/// One load point of the paper's symmetric workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// System size `n`.
+    pub n: usize,
+    /// Global a-broadcast rate, messages/second (split evenly).
+    pub throughput: f64,
+    /// Payload size in bytes.
+    pub payload: usize,
+    /// Measured interval (after warm-up).
+    pub duration: Duration,
+    /// Warm-up: messages broadcast before this point are excluded.
+    pub warmup: Duration,
+    /// Grace period after the last broadcast for in-flight deliveries.
+    pub drain: Duration,
+    /// RNG seed (schedules are deterministic given the seed).
+    pub seed: u64,
+    /// Arrival process.
+    pub arrivals: ArrivalKind,
+}
+
+impl WorkloadSpec {
+    /// A spec with sane defaults: 1 s warm-up, 2 s drain, Poisson arrivals.
+    pub fn new(n: usize, throughput: f64, payload: usize, duration: Duration) -> Self {
+        WorkloadSpec {
+            n,
+            throughput,
+            payload,
+            duration,
+            warmup: Duration::from_secs(1),
+            drain: Duration::from_secs(2),
+            seed: 0xABCD_2006,
+            arrivals: ArrivalKind::Poisson,
+        }
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Latency over all `(message, process)` delivery pairs in the
+    /// measurement window — the paper's metric.
+    pub latency: LatencyStats,
+    /// Messages a-broadcast inside the measurement window.
+    pub broadcast_count: u64,
+    /// Delivery pairs observed for those messages.
+    pub delivered_pairs: u64,
+    /// Delivery pairs still missing when the run ended — nonzero means the
+    /// system could not drain the offered load (or lost messages).
+    pub missing_pairs: u64,
+    /// Whether the run is considered saturated (≥ 2% missing pairs).
+    pub saturated: bool,
+    /// Simulator events processed.
+    pub events: u64,
+}
+
+impl ExperimentResult {
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.latency.mean_ms()
+    }
+}
+
+/// Runs one atomic broadcast experiment on the simulated LAN.
+///
+/// Generic over the stack: any [`Node`] speaking
+/// [`AbcastCommand`]/[`AbcastEvent`] will do — all eight
+/// [`iabc_core::stacks`] constructors qualify.
+pub fn run_abcast_experiment<N>(
+    net: &NetworkParams,
+    spec: &WorkloadSpec,
+    factory: impl FnMut(ProcessId) -> N,
+) -> ExperimentResult
+where
+    N: Node<Command = AbcastCommand, Output = AbcastEvent>,
+{
+    assert!(spec.n >= 1, "need at least one process");
+    let mut world = SimBuilder::new(spec.n, net.clone()).build(factory);
+
+    // Schedule the whole open-loop workload up front.
+    let horizon = spec.warmup + spec.duration;
+    let rate_per_proc = spec.throughput / spec.n as f64;
+    let mut scheduled = 0u64;
+    for p in ProcessId::all(spec.n) {
+        for at in arrival_schedule(spec.arrivals, rate_per_proc, horizon, spec.seed, p) {
+            world.schedule_command(p, at, AbcastCommand::Broadcast(Payload::zeroed(spec.payload)));
+            scheduled += 1;
+        }
+    }
+    let _ = scheduled;
+
+    let window_start = Time::ZERO + spec.warmup;
+    let window_end = Time::ZERO + horizon;
+    let deadline = window_end + spec.drain;
+
+    let mut latency = LatencyStats::new();
+    let mut broadcast_count = 0u64;
+    let mut delivered_pairs = 0u64;
+    // Ids broadcast in-window → number of deliveries seen.
+    let mut expected: std::collections::HashMap<iabc_types::MsgId, u32> =
+        std::collections::HashMap::new();
+
+    // Run in slices, draining outputs as we go to bound memory.
+    let slice = Duration::from_millis(500);
+    let mut cursor = Time::ZERO;
+    loop {
+        cursor = (cursor + slice).max(cursor);
+        let target = if cursor > deadline { deadline } else { cursor };
+        let stop = world.run_until(target);
+        for rec in world.drain_outputs() {
+            match rec.output {
+                AbcastEvent::Broadcast { id } => {
+                    if rec.at >= window_start && rec.at < window_end {
+                        broadcast_count += 1;
+                        expected.insert(id, 0);
+                    }
+                }
+                AbcastEvent::Delivered { msg } => {
+                    let t0 = msg.broadcast_at();
+                    if t0 >= window_start && t0 < window_end {
+                        if let Some(seen) = expected.get_mut(&msg.id()) {
+                            *seen += 1;
+                            delivered_pairs += 1;
+                            latency.record(rec.at.elapsed_since(t0));
+                        }
+                    }
+                }
+            }
+        }
+        if stop == StopReason::Quiescent || target == deadline {
+            break;
+        }
+    }
+
+    let expected_pairs = broadcast_count * spec.n as u64;
+    let missing_pairs = expected_pairs.saturating_sub(delivered_pairs);
+    let saturated =
+        expected_pairs > 0 && (missing_pairs as f64 / expected_pairs as f64) >= 0.02;
+
+    ExperimentResult {
+        latency,
+        broadcast_count,
+        delivered_pairs,
+        missing_pairs,
+        saturated,
+        events: world.stats().events,
+    }
+}
+
+/// Runs one experiment for a named paper stack (variant × consensus
+/// family × RB strategy) — the entry point used by every figure harness.
+pub fn run_variant(
+    variant: VariantKind,
+    family: ConsensusFamily,
+    rb: RbKind,
+    net: &NetworkParams,
+    cost: CostModel,
+    spec: &WorkloadSpec,
+) -> ExperimentResult {
+    let params = StackParams { n: spec.n, rb, fd: FdKind::Never, cost };
+    match (variant, family) {
+        (VariantKind::Indirect, ConsensusFamily::Ct) => {
+            run_abcast_experiment(net, spec, |p| stacks::indirect_ct(p, &params))
+        }
+        (VariantKind::Indirect, ConsensusFamily::Mr) => {
+            run_abcast_experiment(net, spec, |p| stacks::indirect_mr(p, &params))
+        }
+        (VariantKind::DirectMessages, ConsensusFamily::Ct) => {
+            run_abcast_experiment(net, spec, |p| stacks::direct_ct_messages(p, &params))
+        }
+        (VariantKind::DirectMessages, ConsensusFamily::Mr) => {
+            run_abcast_experiment(net, spec, |p| stacks::direct_mr_messages(p, &params))
+        }
+        (VariantKind::FaultyIds, ConsensusFamily::Ct) => {
+            run_abcast_experiment(net, spec, |p| stacks::faulty_ct_ids(p, &params))
+        }
+        (VariantKind::FaultyIds, ConsensusFamily::Mr) => {
+            run_abcast_experiment(net, spec, |p| stacks::faulty_mr_ids(p, &params))
+        }
+        (VariantKind::UrbIds, ConsensusFamily::Ct) => {
+            run_abcast_experiment(net, spec, |p| stacks::urb_ct_ids(p, &params))
+        }
+        (VariantKind::UrbIds, ConsensusFamily::Mr) => {
+            run_abcast_experiment(net, spec, |p| stacks::urb_mr_ids(p, &params))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(n: usize, throughput: f64, payload: usize) -> WorkloadSpec {
+        let mut s = WorkloadSpec::new(n, throughput, payload, Duration::from_millis(1500));
+        s.warmup = Duration::from_millis(300);
+        s.drain = Duration::from_secs(3);
+        s
+    }
+
+    #[test]
+    fn indirect_ct_delivers_everything_at_low_load() {
+        let spec = quick_spec(3, 50.0, 32);
+        let r = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &NetworkParams::setup1(),
+            CostModel::setup1(),
+            &spec,
+        );
+        assert!(r.broadcast_count > 30, "workload too small: {}", r.broadcast_count);
+        assert_eq!(r.missing_pairs, 0, "all messages must deliver at 50 msg/s");
+        assert!(!r.saturated);
+        assert!(r.mean_ms() > 0.1 && r.mean_ms() < 50.0, "mean {} ms", r.mean_ms());
+    }
+
+    #[test]
+    fn latency_grows_with_throughput() {
+        let net = NetworkParams::setup1();
+        let cost = CostModel::setup1();
+        let lo = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &net,
+            cost,
+            &quick_spec(3, 30.0, 1),
+        );
+        let hi = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &net,
+            cost,
+            &quick_spec(3, 600.0, 1),
+        );
+        assert!(
+            hi.mean_ms() > lo.mean_ms(),
+            "high load ({}) must beat low load ({})",
+            hi.mean_ms(),
+            lo.mean_ms()
+        );
+    }
+
+    #[test]
+    fn direct_messages_hurt_with_large_payloads() {
+        // Figure 1's claim, in miniature: at moderate load, consensus on
+        // full messages is slower than indirect consensus once payloads
+        // are big.
+        let net = NetworkParams::setup1();
+        let cost = CostModel::setup1();
+        let spec = quick_spec(3, 100.0, 4000);
+        let direct = run_variant(
+            VariantKind::DirectMessages,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &net,
+            cost,
+            &spec,
+        );
+        let indirect = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &net,
+            cost,
+            &spec,
+        );
+        assert!(
+            direct.mean_ms() > indirect.mean_ms(),
+            "direct {} ms vs indirect {} ms",
+            direct.mean_ms(),
+            indirect.mean_ms()
+        );
+    }
+
+    #[test]
+    fn all_eight_stacks_run_cleanly_at_low_load() {
+        let net = NetworkParams::setup2();
+        let spec = quick_spec(3, 40.0, 16);
+        for variant in [
+            VariantKind::Indirect,
+            VariantKind::DirectMessages,
+            VariantKind::FaultyIds,
+            VariantKind::UrbIds,
+        ] {
+            for family in [ConsensusFamily::Ct, ConsensusFamily::Mr] {
+                let r = run_variant(
+                    variant,
+                    family,
+                    RbKind::LazyN,
+                    &net,
+                    CostModel::setup2(),
+                    &spec,
+                );
+                assert_eq!(
+                    r.missing_pairs, 0,
+                    "{variant:?}/{family:?} lost messages in a fault-free run"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: three simulated processes totally order a handful of
+//! messages with the paper's stack (reliable broadcast + indirect CT
+//! consensus).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use indirect_abcast::prelude::*;
+
+fn main() {
+    let n = 3;
+    let params = StackParams::fault_free(n);
+    let mut world =
+        SimBuilder::new(n, NetworkParams::setup1()).build(|p| stacks::indirect_ct(p, &params));
+
+    // Every process a-broadcasts two messages, interleaved in time.
+    for round in 0..2u64 {
+        for p in 0..n as u16 {
+            world.schedule_command(
+                ProcessId::new(p),
+                Time::ZERO + Duration::from_millis(1 + round * 3 + p as u64),
+                AbcastCommand::Broadcast(Payload::from(
+                    format!("hello #{round} from p{p}").into_bytes(),
+                )),
+            );
+        }
+    }
+    world.run_to_quiescence();
+
+    // Collect per-process delivery orders.
+    let mut orders: Vec<Vec<MsgId>> = vec![Vec::new(); n];
+    for rec in world.outputs() {
+        if let AbcastEvent::Delivered { msg } = &rec.output {
+            orders[rec.process.as_usize()].push(msg.id());
+        }
+    }
+
+    println!("Delivery order at each process:");
+    for (i, order) in orders.iter().enumerate() {
+        let rendered: Vec<String> = order.iter().map(|id| id.to_string()).collect();
+        println!("  p{i}: {}", rendered.join(" -> "));
+    }
+
+    assert!(orders.iter().all(|o| o == &orders[0]), "total order must agree");
+    assert_eq!(orders[0].len(), 2 * n, "every message must be delivered");
+    println!("\nAll {n} processes delivered {} messages in the SAME total order. ✓", 2 * n);
+}

@@ -1,0 +1,73 @@
+//! A replicated key-value store on top of atomic broadcast — the classic
+//! state-machine-replication pattern the paper's introduction motivates.
+//!
+//! Each replica applies `SET key value` commands in a-delivery order;
+//! because atomic broadcast gives every replica the same order, all
+//! replicas end in identical states even though commands originate
+//! concurrently at different replicas.
+//!
+//! Run with: `cargo run --example replicated_kv`
+
+use std::collections::BTreeMap;
+
+use indirect_abcast::prelude::*;
+
+/// A SET command, serialized into the message payload.
+fn set_cmd(key: &str, value: &str) -> Payload {
+    Payload::from(format!("{key}={value}").into_bytes())
+}
+
+fn apply(store: &mut BTreeMap<String, String>, payload: &[u8]) {
+    let text = String::from_utf8_lossy(payload);
+    if let Some((k, v)) = text.split_once('=') {
+        store.insert(k.to_string(), v.to_string());
+    }
+}
+
+fn main() {
+    let n = 3;
+    let params = StackParams::fault_free(n);
+    let mut world =
+        SimBuilder::new(n, NetworkParams::setup2()).build(|p| stacks::indirect_ct(p, &params));
+
+    // Conflicting writes to the same keys from different replicas, plus
+    // some disjoint writes — all issued near-simultaneously.
+    let writes: Vec<(u16, &str, &str)> = vec![
+        (0, "color", "red"),
+        (1, "color", "green"),
+        (2, "color", "blue"),
+        (0, "shape", "circle"),
+        (2, "shape", "square"),
+        (1, "count", "42"),
+    ];
+    for (i, (replica, key, value)) in writes.iter().enumerate() {
+        world.schedule_command(
+            ProcessId::new(*replica),
+            Time::ZERO + Duration::from_micros(100 + i as u64 * 7),
+            AbcastCommand::Broadcast(set_cmd(key, value)),
+        );
+    }
+    world.run_to_quiescence();
+
+    // Apply deliveries per replica.
+    let mut stores: Vec<BTreeMap<String, String>> = vec![BTreeMap::new(); n];
+    for rec in world.outputs() {
+        if let AbcastEvent::Delivered { msg } = &rec.output {
+            apply(&mut stores[rec.process.as_usize()], msg.payload().bytes());
+        }
+    }
+
+    println!("Final state at each replica:");
+    for (i, store) in stores.iter().enumerate() {
+        println!("  replica {i}: {store:?}");
+    }
+
+    assert!(
+        stores.iter().all(|s| s == &stores[0]),
+        "replicas diverged — atomic broadcast is broken"
+    );
+    println!(
+        "\nAll replicas converged to the same state despite concurrent conflicting writes. ✓"
+    );
+    println!("(The winner of the color race was decided by the total order, not by luck.)");
+}

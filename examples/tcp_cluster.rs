@@ -1,0 +1,36 @@
+//! The same protocol stack again — this time over loop-back TCP sockets,
+//! with every message passing through the real wire codec.
+//!
+//! Run with: `cargo run --example tcp_cluster`
+
+use indirect_abcast::prelude::*;
+
+fn main() {
+    let n = 3;
+    let params = StackParams::fault_free(n);
+    let mut cluster = TcpCluster::start(n, |p| stacks::indirect_ct(p, &params));
+
+    for i in 0..4u16 {
+        cluster.send_command(
+            ProcessId::new(i % 3),
+            AbcastCommand::Broadcast(Payload::from(format!("tcp-msg-{i}").into_bytes())),
+        );
+    }
+
+    let outputs = cluster.run_for(std::time::Duration::from_millis(800));
+    let mut orders: Vec<Vec<MsgId>> = vec![Vec::new(); n];
+    for rec in &outputs {
+        if let AbcastEvent::Delivered { msg } = &rec.output {
+            orders[rec.process.as_usize()].push(msg.id());
+        }
+    }
+    cluster.shutdown();
+
+    println!("Delivery orders over TCP:");
+    for (i, order) in orders.iter().enumerate() {
+        let rendered: Vec<String> = order.iter().map(|id| id.to_string()).collect();
+        println!("  p{i}: {}", rendered.join(" -> "));
+    }
+    assert!(orders.iter().all(|o| o.len() == 4 && o == &orders[0]));
+    println!("\nEncoded, framed, shipped over sockets, decoded — same total order. ✓");
+}

@@ -1,0 +1,36 @@
+//! The same protocol stack, on real OS threads with wall-clock time —
+//! the "prototype" half of the Neko-style sim/real duality.
+//!
+//! Run with: `cargo run --example thread_cluster`
+
+use indirect_abcast::prelude::*;
+
+fn main() {
+    let n = 3;
+    let params = StackParams::fault_free(n);
+    let mut cluster = ThreadCluster::start(n, |p| stacks::indirect_ct(p, &params));
+
+    for i in 0..5u16 {
+        cluster.send_command(
+            ProcessId::new(i % 3),
+            AbcastCommand::Broadcast(Payload::from(format!("msg-{i}").into_bytes())),
+        );
+    }
+
+    let outputs = cluster.run_for(std::time::Duration::from_millis(500));
+    let mut orders: Vec<Vec<MsgId>> = vec![Vec::new(); n];
+    for rec in &outputs {
+        if let AbcastEvent::Delivered { msg } = &rec.output {
+            orders[rec.process.as_usize()].push(msg.id());
+        }
+    }
+    cluster.shutdown();
+
+    println!("Delivery orders over real threads:");
+    for (i, order) in orders.iter().enumerate() {
+        let rendered: Vec<String> = order.iter().map(|id| id.to_string()).collect();
+        println!("  p{i}: {}", rendered.join(" -> "));
+    }
+    assert!(orders.iter().all(|o| o.len() == 5 && o == &orders[0]));
+    println!("\nSame sans-io state machines, real concurrency, same total order. ✓");
+}

@@ -1,0 +1,174 @@
+//! End-to-end property checks: every stack variant, fault-free, must
+//! satisfy all four atomic broadcast properties; runs must be
+//! deterministic and payload-order independent.
+
+use indirect_abcast::prelude::*;
+
+/// Runs `msgs` broadcasts across all processes on the given stack factory
+/// and returns the checker plus per-process delivery counts.
+fn run_fault_free<N>(
+    n: usize,
+    msgs: u64,
+    factory: impl FnMut(ProcessId) -> N,
+) -> (AbcastChecker, Vec<usize>)
+where
+    N: indirect_abcast::runtime::Node<Command = AbcastCommand, Output = AbcastEvent>,
+{
+    let mut world = SimBuilder::new(n, NetworkParams::setup1()).build(factory);
+    for i in 0..msgs {
+        world.schedule_command(
+            ProcessId::new((i % n as u64) as u16),
+            Time::ZERO + Duration::from_micros(137 * i + 11),
+            AbcastCommand::Broadcast(Payload::zeroed((i % 64) as usize)),
+        );
+    }
+    let stop = world.run_to_quiescence();
+    assert_eq!(stop, StopReason::Quiescent);
+
+    let mut checker = AbcastChecker::new(n);
+    let mut delivered = vec![0usize; n];
+    for rec in world.outputs() {
+        checker.record(rec.process, &rec.output);
+        if matches!(rec.output, AbcastEvent::Delivered { .. }) {
+            delivered[rec.process.as_usize()] += 1;
+        }
+    }
+    (checker, delivered)
+}
+
+macro_rules! fault_free_stack_test {
+    ($name:ident, $ctor:ident, $n:expr) => {
+        #[test]
+        fn $name() {
+            let params = StackParams::fault_free($n);
+            let (checker, delivered) = run_fault_free($n, 40, |p| stacks::$ctor(p, &params));
+            let violations = checker.check_complete(&vec![false; $n]);
+            assert!(violations.is_empty(), "violations: {violations:?}");
+            assert!(delivered.iter().all(|&d| d == 40), "deliveries: {delivered:?}");
+        }
+    };
+}
+
+fault_free_stack_test!(indirect_ct_n3_satisfies_all_properties, indirect_ct, 3);
+fault_free_stack_test!(indirect_ct_n5_satisfies_all_properties, indirect_ct, 5);
+fault_free_stack_test!(indirect_mr_n4_satisfies_all_properties, indirect_mr, 4);
+fault_free_stack_test!(indirect_mr_n7_satisfies_all_properties, indirect_mr, 7);
+fault_free_stack_test!(direct_ct_messages_satisfies_all_properties, direct_ct_messages, 3);
+fault_free_stack_test!(direct_mr_messages_satisfies_all_properties, direct_mr_messages, 3);
+fault_free_stack_test!(faulty_ct_ids_ok_without_crashes, faulty_ct_ids, 3);
+fault_free_stack_test!(faulty_mr_ids_ok_without_crashes, faulty_mr_ids, 3);
+fault_free_stack_test!(urb_ct_ids_satisfies_all_properties, urb_ct_ids, 3);
+fault_free_stack_test!(urb_mr_ids_satisfies_all_properties, urb_mr_ids, 3);
+
+#[test]
+fn lazy_rb_variant_is_also_correct_fault_free() {
+    let params = StackParams { rb: RbKind::LazyN, ..StackParams::fault_free(3) };
+    let (checker, delivered) = run_fault_free(3, 40, |p| stacks::indirect_ct(p, &params));
+    assert!(checker.check_complete(&[false; 3]).is_empty());
+    assert_eq!(delivered, vec![40; 3]);
+}
+
+#[test]
+fn single_process_system_works() {
+    let params = StackParams::fault_free(1);
+    let (checker, delivered) = run_fault_free(1, 10, |p| stacks::indirect_ct(p, &params));
+    assert!(checker.check_complete(&[false]).is_empty());
+    assert_eq!(delivered, vec![10]);
+}
+
+#[test]
+fn runs_are_bitwise_deterministic() {
+    let run = || {
+        let params = StackParams::fault_free(3);
+        let mut world =
+            SimBuilder::new(3, NetworkParams::setup1()).build(|p| stacks::indirect_ct(p, &params));
+        for i in 0..25u64 {
+            world.schedule_command(
+                ProcessId::new((i % 3) as u16),
+                Time::ZERO + Duration::from_micros(211 * i),
+                AbcastCommand::Broadcast(Payload::zeroed(8)),
+            );
+        }
+        world.run_to_quiescence();
+        world
+            .outputs()
+            .iter()
+            .map(|r| (r.at, r.process, format!("{:?}", r.output)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "same schedule must give identical traces");
+}
+
+#[test]
+fn heavy_interleaving_keeps_total_order() {
+    // All processes broadcast at the same instant repeatedly — maximum
+    // contention for the ordering layer.
+    let params = StackParams::fault_free(3);
+    let mut world =
+        SimBuilder::new(3, NetworkParams::setup2()).build(|p| stacks::indirect_ct(p, &params));
+    for burst in 0..10u64 {
+        for p in 0..3u16 {
+            world.schedule_command(
+                ProcessId::new(p),
+                Time::ZERO + Duration::from_millis(burst),
+                AbcastCommand::Broadcast(Payload::zeroed(16)),
+            );
+        }
+    }
+    world.run_to_quiescence();
+    let mut checker = AbcastChecker::new(3);
+    for rec in world.outputs() {
+        checker.record(rec.process, &rec.output);
+    }
+    assert!(checker.check_complete(&[false; 3]).is_empty());
+    assert_eq!(checker.sequences()[0].len(), 30);
+}
+
+#[test]
+fn consensus_batches_under_load() {
+    // At high load the reduction must batch: far fewer consensus instances
+    // than messages (this is what makes the algorithm scale).
+    let params = StackParams::fault_free(3);
+    let mut world =
+        SimBuilder::new(3, NetworkParams::setup1()).build(|p| stacks::indirect_ct(p, &params));
+    let msgs = 300u64;
+    for i in 0..msgs {
+        world.schedule_command(
+            ProcessId::new((i % 3) as u16),
+            Time::ZERO + Duration::from_micros(500 * i), // 2000 msg/s
+            AbcastCommand::Broadcast(Payload::zeroed(1)),
+        );
+    }
+    world.run_to_quiescence();
+    let instances = world.node(ProcessId::new(0)).instance();
+    assert!(instances < msgs, "no batching: {instances} instances for {msgs} msgs");
+    assert!(instances > 1, "everything in one instance is impossible here");
+    assert_eq!(world.node(ProcessId::new(0)).delivered_count(), msgs);
+}
+
+#[test]
+fn instance_state_is_garbage_collected() {
+    // Long run: the per-node consensus bookkeeping must stay bounded even
+    // though hundreds of instances complete (the GC extension).
+    let params = StackParams::fault_free(3);
+    let mut world =
+        SimBuilder::new(3, NetworkParams::setup2()).build(|p| stacks::indirect_ct(p, &params));
+    let msgs = 600u64;
+    for i in 0..msgs {
+        world.schedule_command(
+            ProcessId::new((i % 3) as u16),
+            Time::ZERO + Duration::from_micros(5_000 * i), // low rate: ~1 instance per msg
+            AbcastCommand::Broadcast(Payload::zeroed(1)),
+        );
+    }
+    world.run_to_quiescence();
+    let node = world.node(ProcessId::new(0));
+    assert_eq!(node.delivered_count(), msgs);
+    assert!(node.instance() > 100, "expected many instances, got {}", node.instance());
+    assert!(
+        node.consensus_slots() <= 16,
+        "manager footprint unbounded: {} slots after {} instances",
+        node.consensus_slots(),
+        node.instance()
+    );
+}

@@ -1,0 +1,143 @@
+//! The paper's two counterexamples as executable tests.
+//!
+//! §2.2: an unmodified consensus on identifiers violates atomic broadcast
+//! Validity after one crash with quasi-reliable loss. §3.3.2: the same
+//! schedule defeats the unmodified MR algorithm; the indirect adaptations
+//! survive it.
+
+use indirect_abcast::broadcast::BcastMsg;
+use indirect_abcast::core::Envelope;
+use indirect_abcast::prelude::*;
+
+/// The §2.2 schedule (see `examples/validity_counterexample.rs` for the
+/// narrated version): the instance-1 coordinator broadcasts a message
+/// whose payload copies are all lost, then crashes after consensus.
+fn section_2_2_schedule<N>(
+    n: usize,
+    factory: impl FnMut(ProcessId) -> N,
+) -> (AbcastChecker, Vec<bool>)
+where
+    N: indirect_abcast::runtime::Node<
+        Msg = Envelope<IdSet>,
+        Command = AbcastCommand,
+        Output = AbcastEvent,
+    >,
+{
+    // Instance 1 (coord_offset 1), round 1 → coordinator (2 mod n).
+    let initiator = ProcessId::new((2 % n) as u16);
+    let crash_at = Time::ZERO + Duration::from_millis(50);
+    let mut world = SimBuilder::new(n, NetworkParams::setup1())
+        .faults(FaultPlan::with_crashes(CrashSchedule::new().crash(initiator, crash_at)))
+        .build(factory);
+    world.set_drop_filter(Box::new(move |from, _to, msg| {
+        from == initiator
+            && matches!(msg, Envelope::Bcast(BcastMsg::Data(_) | BcastMsg::Relay(_)))
+    }));
+
+    world.schedule_command(initiator, Time::ZERO, AbcastCommand::Broadcast(Payload::zeroed(8)));
+    // A concurrent broadcast pulls everyone into consensus instance 1.
+    world.schedule_command(
+        ProcessId::new(1),
+        Time::ZERO + Duration::from_millis(1),
+        AbcastCommand::Broadcast(Payload::zeroed(8)),
+    );
+    // And a later message that must not get stuck.
+    world.schedule_command(
+        ProcessId::new(0),
+        Time::ZERO + Duration::from_millis(100),
+        AbcastCommand::Broadcast(Payload::zeroed(8)),
+    );
+    world.run_until(Time::ZERO + Duration::from_secs(5));
+
+    let mut checker = AbcastChecker::new(n);
+    for rec in world.outputs() {
+        checker.record(rec.process, &rec.output);
+    }
+    let mut crashed = vec![false; n];
+    crashed[initiator.as_usize()] = true;
+    (checker, crashed)
+}
+
+fn heartbeat_params(n: usize) -> StackParams {
+    StackParams::with_heartbeat(n, Duration::from_millis(10), Duration::from_millis(60))
+}
+
+#[test]
+fn faulty_ct_ids_violates_validity_under_2_2_schedule() {
+    let params = heartbeat_params(3);
+    let (checker, crashed) = section_2_2_schedule(3, |p| stacks::faulty_ct_ids(p, &params));
+    let violations = checker.check_complete(&crashed);
+    assert!(
+        violations.iter().any(|v| matches!(v, Violation::ValidityViolation { .. })),
+        "expected a Validity violation, got: {violations:?}"
+    );
+    // The stronger diagnosis: the crashed initiator delivered messages that
+    // no correct process can ever deliver — Uniform agreement breaks too.
+    assert!(violations.iter().any(|v| matches!(v, Violation::AgreementViolation { .. })));
+}
+
+#[test]
+fn indirect_ct_survives_2_2_schedule() {
+    let params = heartbeat_params(3);
+    let (checker, crashed) = section_2_2_schedule(3, |p| stacks::indirect_ct(p, &params));
+    let violations = checker.check_complete(&crashed);
+    assert!(violations.is_empty(), "Algorithm 2 must survive §2.2: {violations:?}");
+    // Both healthy messages reach both survivors.
+    assert!(checker.sequences()[0].len() >= 2, "{:?}", checker.sequences());
+    assert_eq!(checker.sequences()[0], checker.sequences()[1]);
+}
+
+#[test]
+fn faulty_mr_ids_violates_validity_under_2_2_schedule() {
+    // §3.3.2's point, instantiated end-to-end: the unmodified MR algorithm
+    // on identifiers orders an identifier whose payload is lost.
+    // In the MR execution the doomed value spreads via Phase 2 unanimity at
+    // the crashing coordinator's instance, so we use n = 3 where the
+    // initiator coordinates instance 1.
+    let params = heartbeat_params(3);
+    let (checker, crashed) = section_2_2_schedule(3, |p| stacks::faulty_mr_ids(p, &params));
+    let violations = checker.check_complete(&crashed);
+    assert!(
+        violations.iter().any(|v| matches!(v, Violation::ValidityViolation { .. })),
+        "expected a Validity violation, got: {violations:?}"
+    );
+}
+
+#[test]
+fn indirect_mr_survives_2_2_schedule_with_n4() {
+    // Within its f < n/3 bound (n = 4, one crash), Algorithm 3 survives
+    // the same adversarial schedule.
+    let params = heartbeat_params(4);
+    let (checker, crashed) = section_2_2_schedule(4, |p| stacks::indirect_mr(p, &params));
+    let violations = checker.check_complete(&crashed);
+    assert!(violations.is_empty(), "Algorithm 3 must survive §2.2 at n=4: {violations:?}");
+    let survivors = [0usize, 1, 3];
+    for w in survivors.windows(2) {
+        assert_eq!(checker.sequences()[w[0]], checker.sequences()[w[1]]);
+    }
+    assert!(checker.sequences()[0].len() >= 2);
+}
+
+#[test]
+fn monitor_catches_seeded_order_violation() {
+    // Mutation-style sanity check of the checker itself: feed it a
+    // deliberately reordered trace and make sure it complains. (A checker
+    // that cannot fail proves nothing about the stacks above.)
+    use indirect_abcast::types::{AppMessage, MsgId};
+    let mut checker = AbcastChecker::new(2);
+    let ids: Vec<MsgId> = (0..2).map(|s| MsgId::new(ProcessId::new(0), s)).collect();
+    for id in &ids {
+        checker.record(ProcessId::new(0), &AbcastEvent::Broadcast { id: *id });
+    }
+    let deliver = |id: MsgId| AbcastEvent::Delivered {
+        msg: AppMessage::new(id, Payload::zeroed(1), Time::ZERO),
+    };
+    checker.record(ProcessId::new(0), &deliver(ids[0]));
+    checker.record(ProcessId::new(0), &deliver(ids[1]));
+    checker.record(ProcessId::new(1), &deliver(ids[1])); // swapped!
+    checker.record(ProcessId::new(1), &deliver(ids[0]));
+    assert!(checker
+        .check_safety()
+        .iter()
+        .any(|v| matches!(v, Violation::OrderViolation { .. })));
+}

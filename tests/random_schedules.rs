@@ -1,0 +1,179 @@
+//! Property-based testing of atomic broadcast safety under randomized
+//! workloads and crash schedules.
+//!
+//! Safety (Uniform integrity + Uniform total order over the observed
+//! prefix) must hold for *every* schedule, crash pattern within the
+//! resilience bound, and payload mix. Liveness is checked separately in
+//! the deterministic crash tests (it needs tuned failure-detector
+//! horizons, which proptest shrinking would fight against).
+
+use indirect_abcast::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Schedule {
+    msgs: Vec<(u16, u64, usize)>, // (process, at-micros, payload size)
+    crash: Option<(u16, u64)>,    // (process, at-micros)
+}
+
+fn schedule_strategy(n: u16, allow_crash: bool) -> impl Strategy<Value = Schedule> {
+    let msgs = proptest::collection::vec(
+        (0..n, 0u64..300_000, 0usize..256),
+        1..40,
+    );
+    let crash = if allow_crash {
+        proptest::option::of((0..n, 0u64..200_000)).boxed()
+    } else {
+        Just(None).boxed()
+    };
+    (msgs, crash).prop_map(|(msgs, crash)| Schedule { msgs, crash })
+}
+
+/// Runs the schedule on a stack and checks safety; returns the checker.
+fn check_safety<N>(
+    n: usize,
+    schedule: &Schedule,
+    factory: impl FnMut(ProcessId) -> N,
+) -> Result<(), TestCaseError>
+where
+    N: indirect_abcast::runtime::Node<Command = AbcastCommand, Output = AbcastEvent>,
+{
+    let mut builder = SimBuilder::new(n, NetworkParams::setup1());
+    if let Some((p, at)) = schedule.crash {
+        builder = builder.faults(FaultPlan::with_crashes(
+            CrashSchedule::new().crash(ProcessId::new(p), Time::ZERO + Duration::from_micros(at)),
+        ));
+    }
+    let mut world = builder.build(factory);
+    for &(p, at, size) in &schedule.msgs {
+        world.schedule_command(
+            ProcessId::new(p),
+            Time::ZERO + Duration::from_micros(at),
+            AbcastCommand::Broadcast(Payload::zeroed(size)),
+        );
+    }
+    world.run_until(Time::ZERO + Duration::from_secs(20));
+
+    let mut checker = AbcastChecker::new(n);
+    for rec in world.outputs() {
+        checker.record(rec.process, &rec.output);
+    }
+    let violations = checker.check_safety();
+    prop_assert!(violations.is_empty(), "safety violations: {violations:?}");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn indirect_ct_safety_under_random_crashes(s in schedule_strategy(3, true)) {
+        let params = StackParams::with_heartbeat(
+            3,
+            Duration::from_millis(10),
+            Duration::from_millis(60),
+        );
+        check_safety(3, &s, |p| stacks::indirect_ct(p, &params))?;
+    }
+
+    #[test]
+    fn indirect_mr_safety_under_random_crashes_n4(s in schedule_strategy(4, true)) {
+        let params = StackParams::with_heartbeat(
+            4,
+            Duration::from_millis(10),
+            Duration::from_millis(60),
+        );
+        check_safety(4, &s, |p| stacks::indirect_mr(p, &params))?;
+    }
+
+    #[test]
+    fn direct_messages_safety_under_random_crashes(s in schedule_strategy(3, true)) {
+        let params = StackParams::with_heartbeat(
+            3,
+            Duration::from_millis(10),
+            Duration::from_millis(60),
+        );
+        check_safety(3, &s, |p| stacks::direct_ct_messages(p, &params))?;
+    }
+
+    #[test]
+    fn urb_ids_safety_under_random_crashes(s in schedule_strategy(3, true)) {
+        let params = StackParams::with_heartbeat(
+            3,
+            Duration::from_millis(10),
+            Duration::from_millis(60),
+        );
+        check_safety(3, &s, |p| stacks::urb_ct_ids(p, &params))?;
+    }
+
+    /// Even the *faulty* stack keeps total order — its failure mode is
+    /// validity, not ordering. Safety-only check must pass.
+    #[test]
+    fn faulty_ids_keeps_order_even_when_losing_messages(s in schedule_strategy(3, true)) {
+        let params = StackParams::with_heartbeat(
+            3,
+            Duration::from_millis(10),
+            Duration::from_millis(60),
+        );
+        check_safety(3, &s, |p| stacks::faulty_ct_ids(p, &params))?;
+    }
+
+    /// Fault-free runs of the flagship stack must deliver everything —
+    /// liveness as a property over random workloads.
+    #[test]
+    fn indirect_ct_fault_free_delivers_everything(s in schedule_strategy(3, false)) {
+        let params = StackParams::fault_free(3);
+        let mut world = SimBuilder::new(3, NetworkParams::setup1())
+            .build(|p| stacks::indirect_ct(p, &params));
+        for &(p, at, size) in &s.msgs {
+            world.schedule_command(
+                ProcessId::new(p),
+                Time::ZERO + Duration::from_micros(at),
+                AbcastCommand::Broadcast(Payload::zeroed(size)),
+            );
+        }
+        world.run_to_quiescence();
+        let mut checker = AbcastChecker::new(3);
+        for rec in world.outputs() {
+            checker.record(rec.process, &rec.output);
+        }
+        let violations = checker.check_complete(&[false; 3]);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        prop_assert_eq!(checker.sequences()[0].len(), s.msgs.len());
+    }
+
+    /// Determinism as a property: any schedule replayed twice produces the
+    /// same outputs.
+    #[test]
+    fn replays_are_identical(s in schedule_strategy(3, true)) {
+        let run = || {
+            let params = StackParams::with_heartbeat(
+                3,
+                Duration::from_millis(10),
+                Duration::from_millis(60),
+            );
+            let mut builder = SimBuilder::new(3, NetworkParams::setup2());
+            if let Some((p, at)) = s.crash {
+                builder = builder.faults(FaultPlan::with_crashes(
+                    CrashSchedule::new()
+                        .crash(ProcessId::new(p), Time::ZERO + Duration::from_micros(at)),
+                ));
+            }
+            let mut world = builder.build(|p| stacks::indirect_ct(p, &params));
+            for &(p, at, size) in &s.msgs {
+                world.schedule_command(
+                    ProcessId::new(p),
+                    Time::ZERO + Duration::from_micros(at),
+                    AbcastCommand::Broadcast(Payload::zeroed(size)),
+                );
+            }
+            world.run_until(Time::ZERO + Duration::from_secs(2));
+            world
+                .outputs()
+                .iter()
+                .map(|r| (r.at, r.process, format!("{:?}", r.output)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,107 @@
+//! Smoke tests of the thread and TCP runtimes: the same protocol stacks,
+//! real concurrency, wall-clock time.
+
+use indirect_abcast::prelude::*;
+
+fn delivery_orders(outputs: &[indirect_abcast::net::NetOutput<AbcastEvent>], n: usize) -> Vec<Vec<MsgId>> {
+    let mut orders = vec![Vec::new(); n];
+    for rec in outputs {
+        if let AbcastEvent::Delivered { msg } = &rec.output {
+            orders[rec.process.as_usize()].push(msg.id());
+        }
+    }
+    orders
+}
+
+#[test]
+fn thread_cluster_totally_orders() {
+    let n = 3;
+    let params = StackParams::fault_free(n);
+    let mut cluster = ThreadCluster::start(n, |p| stacks::indirect_ct(p, &params));
+    for i in 0..8u16 {
+        cluster.send_command(
+            ProcessId::new(i % 3),
+            AbcastCommand::Broadcast(Payload::zeroed(16)),
+        );
+    }
+    let outputs = cluster.run_for(std::time::Duration::from_millis(800));
+    cluster.shutdown();
+    let orders = delivery_orders(&outputs, n);
+    assert_eq!(orders[0].len(), 8, "all messages delivered: {orders:?}");
+    assert!(orders.iter().all(|o| o == &orders[0]), "orders diverged: {orders:?}");
+}
+
+#[test]
+fn thread_cluster_with_heartbeat_fd_stays_quiet() {
+    // A heartbeat FD on a healthy cluster must not disturb the protocol
+    // (no false suspicions at these generous timeouts).
+    let n = 3;
+    let params = StackParams::with_heartbeat(
+        n,
+        Duration::from_millis(20),
+        Duration::from_millis(500),
+    );
+    let mut cluster = ThreadCluster::start(n, |p| stacks::indirect_ct(p, &params));
+    for i in 0..5u16 {
+        cluster.send_command(ProcessId::new(i % 3), AbcastCommand::Broadcast(Payload::zeroed(8)));
+    }
+    let outputs = cluster.run_for(std::time::Duration::from_millis(700));
+    cluster.shutdown();
+    let orders = delivery_orders(&outputs, n);
+    assert_eq!(orders[0].len(), 5);
+    assert!(orders.iter().all(|o| o == &orders[0]));
+}
+
+#[test]
+fn thread_cluster_mr_variant() {
+    let n = 4;
+    let params = StackParams::fault_free(n);
+    let mut cluster = ThreadCluster::start(n, |p| stacks::indirect_mr(p, &params));
+    for i in 0..6u16 {
+        cluster.send_command(ProcessId::new(i % 4), AbcastCommand::Broadcast(Payload::zeroed(8)));
+    }
+    let outputs = cluster.run_for(std::time::Duration::from_millis(800));
+    cluster.shutdown();
+    let orders = delivery_orders(&outputs, n);
+    assert_eq!(orders[0].len(), 6);
+    assert!(orders.iter().all(|o| o == &orders[0]));
+}
+
+#[test]
+fn tcp_cluster_totally_orders() {
+    let n = 3;
+    let params = StackParams::fault_free(n);
+    let mut cluster = TcpCluster::start(n, |p| stacks::indirect_ct(p, &params));
+    for i in 0..6u16 {
+        cluster.send_command(
+            ProcessId::new(i % 3),
+            AbcastCommand::Broadcast(Payload::from(vec![i as u8; 32])),
+        );
+    }
+    let outputs = cluster.run_for(std::time::Duration::from_millis(1200));
+    cluster.shutdown();
+    let orders = delivery_orders(&outputs, n);
+    assert_eq!(orders[0].len(), 6, "all messages delivered over TCP: {orders:?}");
+    assert!(orders.iter().all(|o| o == &orders[0]));
+}
+
+#[test]
+fn tcp_cluster_carries_large_payloads() {
+    let n = 3;
+    let params = StackParams::fault_free(n);
+    let mut cluster = TcpCluster::start(n, |p| stacks::indirect_ct(p, &params));
+    cluster.send_command(
+        ProcessId::new(0),
+        AbcastCommand::Broadcast(Payload::zeroed(200_000)),
+    );
+    let outputs = cluster.run_for(std::time::Duration::from_millis(1200));
+    cluster.shutdown();
+    let delivered: Vec<_> = outputs
+        .iter()
+        .filter_map(|o| match &o.output {
+            AbcastEvent::Delivered { msg } => Some(msg.payload().len()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delivered, vec![200_000; 3], "payload must survive framing intact");
+}
