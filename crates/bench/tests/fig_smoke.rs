@@ -1,0 +1,67 @@
+//! Smoke test for the figure harness: runs the fig1 code path in-process
+//! with a tiny parameter set, so the measurement pipeline (workload spec →
+//! simulated run → latency stats → table rendering) can't silently rot.
+
+use iabc_bench::{format_panel, sel, sweep_payload, Effort};
+use iabc_core::{CostModel, RbKind};
+use iabc_sim::NetworkParams;
+use iabc_types::Duration;
+
+/// A deliberately tiny effort: a handful of messages per point, sub-second
+/// measured windows. Keeps the smoke test fast in debug builds.
+fn smoke_effort() -> Effort {
+    Effort {
+        target_msgs: 40,
+        min_duration: Duration::from_millis(300),
+        max_duration: Duration::from_millis(800),
+    }
+}
+
+#[test]
+fn fig1_path_produces_sane_series() {
+    let net = NetworkParams::setup1();
+    let cost = CostModel::setup1();
+    let payloads = [1usize, 1000];
+    let stacks = [
+        ("Indirect consensus", sel::indirect(RbKind::EagerN2)),
+        ("Consensus", sel::direct_messages(RbKind::EagerN2)),
+    ];
+
+    let series = sweep_payload(&stacks, 3, &net, cost, 100.0, &payloads, smoke_effort());
+
+    assert_eq!(series.len(), 2, "one series per stack");
+    for s in &series {
+        assert_eq!(s.points.len(), payloads.len(), "one point per payload");
+        for p in &s.points {
+            assert!(
+                p.mean_ms.is_finite() && p.mean_ms > 0.0,
+                "{}: non-positive mean latency {:?}",
+                s.label,
+                p.mean_ms
+            );
+            assert!(
+                p.median_ms <= p.p95_ms + 1e-9,
+                "{}: median {} above p95 {}",
+                s.label,
+                p.median_ms,
+                p.p95_ms
+            );
+            assert!(!p.saturated, "{}: saturated at 100 msg/s", s.label);
+        }
+    }
+
+    // The paper's Figure 1 claim in miniature: consensus on full messages
+    // pays for shipping payloads through the consensus layer, so at 1000-byte
+    // payloads the indirect stack must not be slower.
+    let indirect_1k = series[0].points[1].mean_ms;
+    let direct_1k = series[1].points[1].mean_ms;
+    assert!(
+        indirect_1k <= direct_1k * 1.10,
+        "indirect ({indirect_1k} ms) should not be slower than direct ({direct_1k} ms) at 1 KiB"
+    );
+
+    // Rendering the panel must produce a table mentioning every series.
+    let panel = format_panel("Figure 1 smoke", "size [bytes]", &series);
+    assert!(panel.contains("Indirect consensus") && panel.contains("Consensus"));
+    assert!(panel.contains("mean[ms]"));
+}

@@ -93,8 +93,8 @@ fn run_scenario<A: SingleConsensus<IdSet>>(
             proposals.push(live_proposal(s, i));
         }
     }
-    for i in 0..n {
-        net.propose(ProcessId::new(i as u16), proposals[i].clone());
+    for (i, proposal) in proposals.iter().enumerate() {
+        net.propose(ProcessId::new(i as u16), proposal.clone());
     }
     // Crash-after-send: messages already queued still deliver.
     for &c in &s.crashed {

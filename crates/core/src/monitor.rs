@@ -176,8 +176,8 @@ impl AbcastChecker {
             delivered_anywhere.extend(set.iter().copied());
         }
         for id in &delivered_anywhere {
-            for q in 0..self.n {
-                if !crashed[q] && !self.delivered[q].contains(id) {
+            for (q, delivered) in self.delivered.iter().enumerate() {
+                if !crashed[q] && !delivered.contains(id) {
                     v.push(Violation::AgreementViolation {
                         id: *id,
                         missing_at: ProcessId::new(q as u16),
@@ -192,8 +192,8 @@ impl AbcastChecker {
             if crashed[broadcaster.as_usize()] {
                 continue;
             }
-            for q in 0..self.n {
-                if !crashed[q] && !self.delivered[q].contains(id) {
+            for (q, delivered) in self.delivered.iter().enumerate() {
+                if !crashed[q] && !delivered.contains(id) {
                     v.push(Violation::ValidityViolation {
                         id: *id,
                         missing_at: ProcessId::new(q as u16),

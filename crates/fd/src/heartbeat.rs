@@ -82,10 +82,8 @@ impl HeartbeatFd {
                 continue;
             }
             let silent_for = now.elapsed_since(self.last_seen[q.as_usize()]);
-            if silent_for > self.timeout {
-                if self.suspected.insert(q) {
-                    out.changes.push(FdEvent::Suspect(q));
-                }
+            if silent_for > self.timeout && self.suspected.insert(q) {
+                out.changes.push(FdEvent::Suspect(q));
             }
         }
         out.timers.push((self.send_interval, TICK_CHECK));

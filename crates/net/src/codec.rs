@@ -2,7 +2,6 @@
 
 use std::io::{self, Read, Write};
 
-use bytes::{Buf, BytesMut};
 use iabc_types::{Decode, Encode};
 
 /// Maximum accepted frame size (16 MiB) — guards against corrupt length
@@ -47,7 +46,11 @@ pub fn read_frame<T: Decode, R: Read>(r: &mut R) -> io::Result<T> {
 /// bytes, yields complete frames).
 #[derive(Debug, Default)]
 pub struct FrameBuffer {
-    buf: BytesMut,
+    buf: Vec<u8>,
+    // Consumed prefix of `buf`: frames are dropped O(1) by advancing this
+    // cursor, and the buffer is compacted only once the live region starts
+    // deep enough to amortize the memmove.
+    start: usize,
 }
 
 impl FrameBuffer {
@@ -67,20 +70,24 @@ impl FrameBuffer {
     ///
     /// Fails on oversized or malformed frames.
     pub fn next_frame<T: Decode>(&mut self) -> io::Result<Option<T>> {
-        if self.buf.len() < 4 {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(pending[0..4].try_into().expect("4 bytes")) as usize;
         if len > MAX_FRAME {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
         }
-        if self.buf.len() < 4 + len {
+        if pending.len() < 4 + len {
             return Ok(None);
         }
-        self.buf.advance(4);
-        let body = self.buf.split_to(len);
-        let value = T::from_bytes(&body)
+        let value = T::from_bytes(&pending[4..4 + len])
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.start += 4 + len;
+        if self.start >= 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
         Ok(Some(value))
     }
 }

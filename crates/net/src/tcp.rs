@@ -10,7 +10,7 @@ use std::net::{TcpListener, TcpStream};
 use std::thread::JoinHandle;
 
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use iabc_runtime::Node;
 use iabc_types::{Decode, Encode, ProcessId};
 use parking_lot::Mutex;
@@ -182,11 +182,11 @@ where
         // Writer side: from i to j (i != j), a connected stream.
         let mut writers: Vec<Vec<Option<SharedStream>>> = (0..n).map(|_| vec![]).collect();
         for (i, row) in writers.iter_mut().enumerate() {
-            for j in 0..n {
+            for (j, addr) in addrs.iter().enumerate() {
                 if i == j {
                     row.push(None);
                 } else {
-                    let stream = TcpStream::connect(addrs[j]).expect("connect to peer");
+                    let stream = TcpStream::connect(addr).expect("connect to peer");
                     stream.set_nodelay(true).expect("nodelay");
                     // Identify ourselves so the acceptor can route.
                     let mut s = stream.try_clone().expect("clone stream");
@@ -209,8 +209,7 @@ where
         // dedicated channel pair.
         let injectors: Vec<Sender<(ProcessId, N::Msg)>> = (0..n)
             .map(|j| {
-                let (tx, rx): (Sender<(ProcessId, N::Msg)>, Receiver<(ProcessId, N::Msg)>) =
-                    unbounded();
+                let (tx, rx) = unbounded::<(ProcessId, N::Msg)>();
                 let inner_tx = inner.message_injector(ProcessId::new(j as u16));
                 std::thread::spawn(move || {
                     while let Ok((from, msg)) = rx.recv() {

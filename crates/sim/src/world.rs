@@ -93,7 +93,7 @@ impl SimBuilder {
     ///
     /// Panics if `n == 0` or `n > 64`.
     pub fn new(n: usize, params: NetworkParams) -> Self {
-        assert!(n >= 1 && n <= 64, "need 1 ≤ n ≤ 64 processes, got {n}");
+        assert!((1..=64).contains(&n), "need 1 ≤ n ≤ 64 processes, got {n}");
         SimBuilder { n, params, faults: FaultPlan::none(), max_events: 200_000_000 }
     }
 

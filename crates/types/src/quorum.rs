@@ -71,7 +71,7 @@ pub fn min_quorum_intersection(n: usize, q: usize) -> usize {
 /// `(n−f)`-quorums to intersect in at least `f+1` processes — the condition
 /// `n − 2f ≥ f + 1` of §3.3.3, equivalent to `f < n/3`.
 pub fn intersection_covers_correct_witness(n: usize, f: usize) -> bool {
-    min_quorum_intersection(n, n - f) >= f + 1
+    min_quorum_intersection(n, n - f) > f
 }
 
 #[cfg(test)]

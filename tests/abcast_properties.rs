@@ -42,7 +42,7 @@ macro_rules! fault_free_stack_test {
         fn $name() {
             let params = StackParams::fault_free($n);
             let (checker, delivered) = run_fault_free($n, 40, |p| stacks::$ctor(p, &params));
-            let violations = checker.check_complete(&vec![false; $n]);
+            let violations = checker.check_complete(&[false; $n]);
             assert!(violations.is_empty(), "violations: {violations:?}");
             assert!(delivered.iter().all(|&d| d == 40), "deliveries: {delivered:?}");
         }

@@ -1,0 +1,15 @@
+//! Offline shim for `crossbeam`, exposing `crossbeam::channel` backed by
+//! `std::sync::mpsc`. Only the unbounded-channel subset this workspace
+//! uses is provided; the mpsc types have compatible method signatures
+//! (`send`, `recv`, `recv_timeout`, `try_recv`, cloneable senders).
+
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded MPSC channel, crossbeam-style.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (traits + derive macros) so
+//! annotated types compile without a crate registry. Nothing in this
+//! workspace serializes through serde at run time; replace this shim with
+//! the real crate (same package name) when a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait DeserializeMarker<'de> {}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The derives accept the same invocation surface as the real macros
+//! (including `#[serde(...)]` helper attributes) but generate no code: this
+//! workspace only uses the derives as forward-looking annotations and never
+//! serializes through serde at run time.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
