@@ -1,19 +1,52 @@
-//! Regenerates every figure of the paper in one go (≈ a few minutes in
-//! release mode). Equivalent to running fig1…fig7 and the ablation
-//! sequentially; output goes to stdout and `results/*.csv`.
+//! Regenerates every figure of the paper plus the pipeline sweep in one go
+//! (≈ a few minutes in release mode). Equivalent to running fig1…fig7, the
+//! ablation and pipeline_sweep sequentially; tables go to stdout, CSVs and
+//! `BENCH_*.json` files under `results/`, and a `results/BENCH_run_all.json`
+//! summary records per-bin wall time and status so CI can track the perf
+//! trajectory over time.
 
+use std::fmt::Write as _;
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
-    let bins = ["fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation_rcv"];
+    let bins =
+        ["fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation_rcv", "pipeline_sweep"];
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("bin directory").to_path_buf();
+    let mut records = Vec::new();
     for bin in bins {
         println!("\n######## {bin} ########");
+        let started = Instant::now();
         let status = Command::new(dir.join(bin))
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} exited with {status}");
+        let secs = started.elapsed().as_secs_f64();
+        records.push((bin, secs, status.success()));
+        if !status.success() {
+            // Record what ran (including this failure) before bailing.
+            break;
+        }
     }
-    println!("\nAll figures regenerated; CSVs under results/.");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"run_all\",");
+    let _ = writeln!(json, "  \"bins\": [");
+    for (i, (bin, secs, ok)) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"bin\": \"{bin}\", \"wall_secs\": {secs:.2}, \"ok\": {ok}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_run_all.json", json).expect("write run_all json");
+
+    if let Some((bin, _, _)) = records.iter().find(|(_, _, ok)| !ok) {
+        panic!("{bin} failed; partial summary written to results/BENCH_run_all.json");
+    }
+    println!("\nAll figures regenerated; CSVs and BENCH_*.json under results/.");
 }

@@ -61,9 +61,18 @@ impl<V> ConsOut<V> {
         ConsOut { sends: Vec::new(), decision: None, work: Duration::ZERO }
     }
 
-    /// Whether nothing was produced.
+    /// Whether nothing at all was produced — no protocol effects *and* no
+    /// accounting. Callers probing for protocol activity usually want
+    /// [`ConsOut::has_effects`]: a cost-only callback (`work > 0`, nothing
+    /// sent, no decision) is not activity.
     pub fn is_empty(&self) -> bool {
-        self.sends.is_empty() && self.decision.is_none() && self.work.is_zero()
+        !self.has_effects() && self.work.is_zero()
+    }
+
+    /// Whether the callback produced protocol effects (sends or a
+    /// decision), ignoring accrued `rcv()` accounting.
+    pub fn has_effects(&self) -> bool {
+        !self.sends.is_empty() || self.decision.is_some()
     }
 }
 
@@ -359,6 +368,20 @@ mod tests {
     fn cons_out_starts_empty() {
         let out: ConsOut<IdSet> = ConsOut::new();
         assert!(out.is_empty());
+        assert!(!out.has_effects());
+    }
+
+    #[test]
+    fn cost_only_output_is_not_protocol_activity() {
+        // Regression: a callback that only evaluated rcv() (work > 0,
+        // nothing sent, no decision) used to flip is_empty() and look like
+        // protocol activity to callers.
+        let mut out: ConsOut<IdSet> = ConsOut::new();
+        out.work += Duration::from_micros(3);
+        assert!(!out.has_effects(), "accounting alone is not activity");
+        assert!(!out.is_empty(), "but the buffer is not empty either");
+        out.sends.push((ConsDest::All, ConsMsg::CtAck { round: 1 }));
+        assert!(out.has_effects());
     }
 
     #[test]

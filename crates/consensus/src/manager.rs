@@ -36,9 +36,18 @@ impl<V> MgrOut<V> {
         MgrOut { sends: Vec::new(), decisions: Vec::new(), work: Duration::ZERO }
     }
 
-    /// Whether nothing was produced.
+    /// Whether nothing at all was produced — no protocol effects *and* no
+    /// accounting. Callers probing for protocol activity almost always want
+    /// [`MgrOut::has_effects`] instead: a cost-only call (`work > 0`,
+    /// nothing sent, nothing decided) is *not* activity.
     pub fn is_empty(&self) -> bool {
-        self.sends.is_empty() && self.decisions.is_empty() && self.work.is_zero()
+        !self.has_effects() && self.work.is_zero()
+    }
+
+    /// Whether the call produced protocol effects (sends or decisions),
+    /// ignoring accrued `rcv()` accounting.
+    pub fn has_effects(&self) -> bool {
+        !self.sends.is_empty() || !self.decisions.is_empty()
     }
 }
 
@@ -107,6 +116,25 @@ impl<V: ConsensusValue, A: SingleConsensus<V>> InstanceManager<V, A> {
     /// Whether instance `k` was proposed in and has not decided yet.
     pub fn is_running(&self, k: u64) -> bool {
         matches!(self.slots.get(&k), Some(Slot::Running(_)))
+    }
+
+    /// Number of instances proposed in and not yet decided — the manager's
+    /// view of the pipeline occupancy.
+    pub fn running_count(&self) -> usize {
+        self.slots.values().filter(|s| matches!(s, Slot::Running(_))).count()
+    }
+
+    /// Instance numbers currently running (proposed, undecided), ascending.
+    pub fn running_instances(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .filter_map(|(k, s)| matches!(s, Slot::Running(_)).then_some(*k))
+            .collect()
+    }
+
+    /// Number of messages buffered for instances not yet proposed in.
+    pub fn pending_messages(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
     }
 
     /// Proposes in instance `k` (Algorithm 1 line 17), flushing any
@@ -181,12 +209,7 @@ impl<V: ConsensusValue, A: SingleConsensus<V>> InstanceManager<V, A> {
         suspected: ProcessSet,
         out: &mut MgrOut<V>,
     ) {
-        let running: Vec<u64> = self
-            .slots
-            .iter()
-            .filter_map(|(k, s)| matches!(s, Slot::Running(_)).then_some(*k))
-            .collect();
-        for k in running {
+        for k in self.running_instances() {
             if let Some(Slot::Running(algo)) = self.slots.get_mut(&k) {
                 let env = ConsEnv::new(rcv, suspected);
                 let mut local = ConsOut::new();
@@ -292,7 +315,9 @@ mod tests {
             &mut out,
         );
         assert!(m.decision(1).is_none());
+        assert!(!out.has_effects(), "buffering must look like no protocol activity");
         assert!(out.is_empty());
+        assert_eq!(m.pending_messages(), 1);
         // Proposing flushes the buffer: we decide instantly.
         m.propose(1, ids(&[1]), &AlwaysHeld, ProcessSet::new(), &mut out);
         assert_eq!(m.decision(1), Some(&ids(&[9])));
@@ -402,6 +427,38 @@ mod tests {
             &mut out,
         );
         assert!(out.sends.is_empty());
+    }
+
+    #[test]
+    fn cost_only_mgr_output_is_not_protocol_activity() {
+        let mut out: MgrOut<IdSet> = MgrOut::new();
+        out.work += Duration::from_micros(5);
+        assert!(!out.has_effects(), "accounting alone is not activity");
+        assert!(!out.is_empty());
+        out.decisions.push((1, ids(&[1])));
+        assert!(out.has_effects());
+    }
+
+    #[test]
+    fn running_state_is_reported_per_instance() {
+        let mut m = mgr(0, 3);
+        let mut out = MgrOut::new();
+        m.propose(1, ids(&[1]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        m.propose(2, ids(&[2]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        m.propose(3, ids(&[3]), &AlwaysHeld, ProcessSet::new(), &mut out);
+        assert_eq!(m.running_count(), 3);
+        assert_eq!(m.running_instances(), vec![1, 2, 3]);
+        // Decide the middle instance out of order: occupancy shrinks.
+        m.on_message(
+            2,
+            p(2),
+            ConsMsg::Decide { value: ids(&[2]) },
+            &AlwaysHeld,
+            ProcessSet::new(),
+            &mut out,
+        );
+        assert_eq!(m.running_count(), 2);
+        assert_eq!(m.running_instances(), vec![1, 3]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The composed atomic broadcast node (Algorithm 1 of the paper).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 
 use iabc_broadcast::{BcastDest, BcastOut, Broadcast};
@@ -125,9 +125,15 @@ impl<'a, V: OrderingValue> RcvOracle<V> for NodeOracle<'a> {
 }
 
 /// One process of an atomic broadcast system: reliable (or uniform
-/// reliable) broadcast below, a sequence of consensus instances above,
-/// a failure detector on the side — composed exactly as Algorithm 1
-/// prescribes.
+/// reliable) broadcast below, a *pipelined window* of consensus instances
+/// above, a failure detector on the side.
+///
+/// With `window == 1` this is exactly Algorithm 1: one consensus instance
+/// at a time. With `window = W > 1` up to `W` instances run concurrently;
+/// identifiers already proposed in an in-flight instance are excluded from
+/// newer proposals, and decisions are applied strictly in instance order
+/// (`k = 1, 2, …`), so the delivered total order is identical at every
+/// process regardless of the order decisions *arrive* in.
 ///
 /// Construct nodes through the [`crate::stacks`] functions, which pick the
 /// broadcast module, the consensus algorithm, and the oracle mode for each
@@ -152,10 +158,21 @@ pub struct AbcastNode<V: OrderingValue, A: SingleConsensus<V>> {
     /// Whether the oracle really checks the store (`false` = faulty/direct).
     check_store: bool,
     cost: CostModel,
-    /// Serial number of the latest consensus instance (line 6).
-    k: u64,
-    /// Whether instance `k` is still running.
-    running: bool,
+    /// Pipeline window `W`: maximum number of instances proposed but not
+    /// yet applied. `1` reproduces Algorithm 1 verbatim.
+    window: usize,
+    /// Serial number of the latest instance proposed locally (line 6).
+    proposed_hi: u64,
+    /// The next instance whose decision may be applied; decisions for
+    /// higher instances are buffered, lower ones dropped as stale.
+    next_apply: u64,
+    /// Ids proposed per in-flight instance (proposed, decision not yet
+    /// applied) — excluded from newer proposals.
+    in_flight: BTreeMap<u64, IdSet>,
+    /// Decisions that arrived ahead of `next_apply`, held until their turn.
+    decision_buffer: BTreeMap<u64, V>,
+    /// Old or duplicate decisions dropped by the routing (diagnostics).
+    stale_decisions: u64,
     /// Sequence number for this process's own broadcasts.
     next_seq: u64,
     delivered_count: u64,
@@ -165,8 +182,10 @@ impl<V: OrderingValue, A: SingleConsensus<V>> fmt::Debug for AbcastNode<V, A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AbcastNode")
             .field("me", &self.me)
-            .field("k", &self.k)
-            .field("running", &self.running)
+            .field("proposed_hi", &self.proposed_hi)
+            .field("next_apply", &self.next_apply)
+            .field("window", &self.window)
+            .field("in_flight", &self.in_flight.len())
             .field("unordered", &self.unordered.len())
             .field("ordered_pending", &self.ordered.len())
             .field("delivered", &self.delivered_count)
@@ -179,7 +198,9 @@ type Ctx<V> = Context<Envelope<V>, AbcastEvent>;
 impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     /// Assembles a node from its modules. `algo_factory` builds the state
     /// machine of each consensus instance; `check_store` selects whether
-    /// the `rcv` oracle really consults the received-message store.
+    /// the `rcv` oracle really consults the received-message store;
+    /// `window` is the pipeline width `W` (clamped to at least 1).
+    #[allow(clippy::too_many_arguments)] // module wiring; called via stacks::*
     pub fn new(
         me: ProcessId,
         n: usize,
@@ -188,6 +209,7 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         algo_factory: impl FnMut(u64) -> A + Send + 'static,
         check_store: bool,
         cost: CostModel,
+        window: usize,
     ) -> Self {
         AbcastNode {
             me,
@@ -202,8 +224,12 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             suspected: ProcessSet::new(),
             check_store,
             cost,
-            k: 0,
-            running: false,
+            window: window.max(1),
+            proposed_hi: 0,
+            next_apply: 1,
+            in_flight: BTreeMap::new(),
+            decision_buffer: BTreeMap::new(),
+            stale_decisions: 0,
             next_seq: 0,
             delivered_count: 0,
         }
@@ -229,9 +255,29 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         self.unordered.len()
     }
 
-    /// Serial number of the latest consensus instance.
+    /// Serial number of the latest consensus instance proposed locally.
     pub fn instance(&self) -> u64 {
-        self.k
+        self.proposed_hi
+    }
+
+    /// Pipeline window `W` this node runs with.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Instances proposed locally whose decision has not been applied yet.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Decisions received ahead of order, waiting for a lower instance.
+    pub fn buffered_decisions(&self) -> usize {
+        self.decision_buffer.len()
+    }
+
+    /// Old or duplicate decisions dropped by the routing so far.
+    pub fn stale_decisions(&self) -> u64 {
+        self.stale_decisions
     }
 
     /// The received-message store (for tests and probes).
@@ -327,32 +373,73 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         self.try_deliver(ctx);
     }
 
-    /// Algorithm 1 lines 15–18: run one consensus at a time while there are
-    /// unordered identifiers.
+    /// Algorithm 1 lines 15–18, generalized to a pipeline: keep proposing
+    /// consecutive instances while the window has room and there are
+    /// unordered identifiers not already claimed by an in-flight proposal.
     fn maybe_propose(&mut self, ctx: &mut Ctx<V>) {
-        if self.running || self.unordered.is_empty() {
-            return;
+        loop {
+            if self.in_flight.len() >= self.window {
+                return;
+            }
+            // Ids already riding an in-flight instance are spoken for, and
+            // ids in a buffered (decided, not yet applied) decision are
+            // already ordered; proposing either again would spend a whole
+            // consensus round on ids the apply-time dedupe will skip.
+            let mut candidate = self.unordered.clone();
+            for claimed in self.in_flight.values() {
+                candidate.subtract(claimed);
+            }
+            for decided in self.decision_buffer.values() {
+                candidate.subtract(&decided.ids());
+            }
+            if candidate.is_empty() {
+                return;
+            }
+            self.proposed_hi += 1;
+            let k = self.proposed_hi;
+            let proposal = V::from_unordered(&candidate, &self.store);
+            ctx.work(self.cost.propose_per_id * proposal.id_count() as u64);
+            self.in_flight.insert(k, proposal.ids());
+            let mut mout = MgrOut::new();
+            {
+                let oracle = NodeOracle {
+                    store: &self.store,
+                    check_store: self.check_store,
+                    cost_per_id: self.cost.rcv_check_per_id,
+                };
+                self.mgr.propose(k, proposal, &oracle, self.suspected, &mut mout);
+            }
+            // May recurse into handle_decision (an instance can decide
+            // immediately); the loop re-reads window occupancy afterwards.
+            self.apply_mgr_out(mout, ctx);
         }
-        self.k += 1;
-        self.running = true;
-        let proposal = V::from_unordered(&self.unordered, &self.store);
-        ctx.work(self.cost.propose_per_id * proposal.id_count() as u64);
-        let mut mout = MgrOut::new();
-        {
-            let oracle = NodeOracle {
-                store: &self.store,
-                check_store: self.check_store,
-                cost_per_id: self.cost.rcv_check_per_id,
-            };
-            self.mgr.propose(self.k, proposal, &oracle, self.suspected, &mut mout);
-        }
-        self.apply_mgr_out(mout, ctx);
     }
 
-    /// Algorithm 1 lines 18–21: a decision arrived for instance `k`.
+    /// Routes a decision for instance `k`: stale or duplicate decisions are
+    /// dropped, future ones buffered, and the buffer is drained strictly in
+    /// instance order.
+    ///
+    /// This replaces the seed's `debug_assert_eq!(k, self.k)` — which
+    /// compiled away in release builds and let a mismatched instance number
+    /// silently corrupt the ordering state — with real routing.
     fn handle_decision(&mut self, k: u64, v: V, ctx: &mut Ctx<V>) {
-        debug_assert_eq!(k, self.k, "decisions arrive for the running instance");
-        self.running = false;
+        if k < self.next_apply || self.decision_buffer.contains_key(&k) {
+            self.stale_decisions += 1;
+            return;
+        }
+        self.decision_buffer.insert(k, v);
+        loop {
+            let next = self.next_apply;
+            let Some(v) = self.decision_buffer.remove(&next) else { break };
+            self.next_apply += 1;
+            self.apply_decision(next, v, ctx);
+        }
+    }
+
+    /// Algorithm 1 lines 18–21: applies the decision of instance `k`
+    /// (callers guarantee `k` is exactly the next instance in order).
+    fn apply_decision(&mut self, k: u64, v: V, ctx: &mut Ctx<V>) {
+        self.in_flight.remove(&k);
         // Full-message values teach us payloads we may not have R-delivered
         // yet (and in the classic reduction, this is the only way a slow
         // process learns them in time).
@@ -363,14 +450,16 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         for id in ids.iter() {
             if self.ordered_ever.insert(id) {
                 self.ordered.push_back(id);
-            } else {
-                debug_assert!(false, "id {id} decided twice");
             }
+            // else: with W > 1, an id decided by instance k may also sit in
+            // a concurrent proposal that a later instance decides — every
+            // process applies decisions in the same order and skips the
+            // duplicate here, so the total order stays identical.
         }
         self.try_deliver(ctx);
         // Bound the manager's footprint: old decided instances only serve
         // stragglers, and the decide relay already covers those in practice.
-        self.mgr.gc_decided_below(self.k, KEEP_DECIDED_INSTANCES);
+        self.mgr.gc_decided_below(self.next_apply, KEEP_DECIDED_INSTANCES);
         self.maybe_propose(ctx);
     }
 
@@ -449,10 +538,173 @@ impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iabc_broadcast::{BcastMsg, EagerRb};
+    use iabc_consensus::{ConsMsg, CtConsensus};
+    use iabc_fd::NeverSuspect;
+    use iabc_runtime::Action;
     use iabc_types::{Payload, Time};
 
     fn msg(p: u16, seq: u64) -> AppMessage {
         AppMessage::new(MsgId::new(ProcessId::new(p), seq), Payload::zeroed(8), Time::ZERO)
+    }
+
+    /// A three-process indirect-CT node under direct test control.
+    fn test_node(window: usize) -> AbcastNode<IdSet, CtConsensus<IdSet>> {
+        AbcastNode::new(
+            ProcessId::new(0),
+            3,
+            Box::new(EagerRb::new()),
+            Box::new(NeverSuspect::new()),
+            |k| CtConsensus::with_coord_offset(ProcessId::new(0), 3, k),
+            true,
+            CostModel::zero(),
+            window,
+        )
+    }
+
+    fn ctx() -> Ctx<IdSet> {
+        Context::new(ProcessId::new(0), 3, Time::ZERO)
+    }
+
+    /// Feeds an R-broadcast data frame from `from` into the node.
+    fn deliver_data(
+        node: &mut AbcastNode<IdSet, CtConsensus<IdSet>>,
+        from: u16,
+        m: AppMessage,
+        c: &mut Ctx<IdSet>,
+    ) {
+        node.on_message(ProcessId::new(from), Envelope::Bcast(BcastMsg::Data(m)), c);
+    }
+
+    /// Feeds a consensus Decide frame for instance `k` into the node.
+    fn deliver_decide(
+        node: &mut AbcastNode<IdSet, CtConsensus<IdSet>>,
+        k: u64,
+        value: IdSet,
+        c: &mut Ctx<IdSet>,
+    ) {
+        node.on_message(
+            ProcessId::new(1),
+            Envelope::Cons { k, msg: ConsMsg::Decide { value } },
+            c,
+        );
+    }
+
+    fn delivered_ids(c: &mut Ctx<IdSet>) -> Vec<MsgId> {
+        c.take_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::Output(AbcastEvent::Delivered { msg }) => Some(msg.id()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_one_runs_a_single_instance_at_a_time() {
+        let mut node = test_node(1);
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        deliver_data(&mut node, 1, msg(1, 1), &mut c);
+        // Algorithm 1 verbatim: the second id waits for instance 1.
+        assert_eq!(node.instance(), 1);
+        assert_eq!(node.in_flight(), 1);
+        assert_eq!(node.unordered_len(), 2);
+    }
+
+    #[test]
+    fn window_limits_and_excludes_in_flight_ids() {
+        let mut node = test_node(2);
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        deliver_data(&mut node, 1, msg(1, 1), &mut c);
+        deliver_data(&mut node, 1, msg(1, 2), &mut c);
+        // Two instances in flight (window), carrying disjoint proposals;
+        // the third id must wait for a slot.
+        assert_eq!(node.instance(), 2);
+        assert_eq!(node.in_flight(), 2);
+        assert_eq!(node.unordered_len(), 3);
+    }
+
+    #[test]
+    fn out_of_order_decision_is_buffered_until_its_turn() {
+        let mut node = test_node(2);
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c); // instance 1 = {m0}
+        deliver_data(&mut node, 1, msg(1, 1), &mut c); // instance 2 = {m1}
+        assert_eq!(node.in_flight(), 2);
+
+        // Instance 2 decides first: nothing may be delivered yet.
+        deliver_decide(&mut node, 2, IdSet::from_ids([msg(1, 1).id()]), &mut c);
+        assert_eq!(node.delivered_count(), 0, "future decision must be buffered");
+        assert_eq!(node.buffered_decisions(), 1);
+
+        // Instance 1 decides: both apply, strictly in instance order.
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        assert_eq!(node.delivered_count(), 2);
+        assert_eq!(node.buffered_decisions(), 0);
+        assert_eq!(node.in_flight(), 0);
+        assert_eq!(delivered_ids(&mut c), vec![msg(1, 0).id(), msg(1, 1).id()]);
+    }
+
+    /// Regression for the seed's `debug_assert_eq!(k, self.k)`: in release
+    /// builds a decision for a non-current instance silently cleared
+    /// `running` and corrupted the ordering state. The routing must drop
+    /// stale/duplicate decisions — in every build profile.
+    #[test]
+    fn stale_decision_is_dropped_never_misapplied() {
+        let mut node = test_node(1);
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        assert_eq!(node.delivered_count(), 1);
+
+        // A duplicate/old decision for instance 1 arrives (e.g. a straggler
+        // relay): it must be dropped wholesale, not applied to the current
+        // instance's state.
+        let ghost = IdSet::from_ids([msg(2, 9).id()]);
+        node.handle_decision(1, ghost, &mut c);
+        assert_eq!(node.stale_decisions(), 1);
+        assert_eq!(node.delivered_count(), 1, "stale decision must not deliver");
+        assert_eq!(node.instance(), 1, "stale decision must not trigger proposals");
+        assert_eq!(node.ordered_pending(), 0);
+
+        // Same for a decision duplicating an already-buffered instance.
+        let mut node = test_node(2);
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        deliver_data(&mut node, 1, msg(1, 1), &mut c);
+        node.handle_decision(2, IdSet::from_ids([msg(1, 1).id()]), &mut c);
+        node.handle_decision(2, IdSet::from_ids([msg(2, 7).id()]), &mut c);
+        assert_eq!(node.stale_decisions(), 1, "duplicate buffered decision dropped");
+        assert_eq!(node.buffered_decisions(), 1);
+    }
+
+    #[test]
+    fn overlapping_decisions_dedupe_deterministically() {
+        // With W > 1 an id can be decided by instance k and also ride a
+        // concurrent proposal decided in k+1 (another process proposed it
+        // first). The duplicate must be skipped, once, at apply time.
+        let mut node = test_node(2);
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c); // instance 1 = {m0}
+        deliver_data(&mut node, 1, msg(1, 1), &mut c); // instance 2 = {m1}
+        // Instance 1 decides a peer's proposal that already contains m1.
+        deliver_decide(
+            &mut node,
+            1,
+            IdSet::from_ids([msg(1, 0).id(), msg(1, 1).id()]),
+            &mut c,
+        );
+        assert_eq!(node.delivered_count(), 2);
+        // Instance 2 then decides our own {m1}: already ordered, skipped.
+        deliver_decide(&mut node, 2, IdSet::from_ids([msg(1, 1).id()]), &mut c);
+        assert_eq!(node.delivered_count(), 2, "duplicate id must not re-deliver");
+        assert_eq!(
+            delivered_ids(&mut c),
+            vec![msg(1, 0).id(), msg(1, 1).id()],
+            "order fixed by instance order, duplicates dropped"
+        );
     }
 
     #[test]

@@ -69,13 +69,23 @@ pub struct StackParams {
     pub fd: FdKind,
     /// CPU cost model for the bookkeeping.
     pub cost: CostModel,
+    /// Pipeline window `W`: maximum consensus instances in flight per node.
+    /// `1` (the default everywhere) reproduces Algorithm 1 one instance at
+    /// a time and is what the paper-figure bins measure.
+    pub window: usize,
 }
 
 impl StackParams {
     /// Parameters for a fault-free logic run: eager RB, no failure
-    /// detector, zero bookkeeping costs.
+    /// detector, zero bookkeeping costs, window 1.
     pub fn fault_free(n: usize) -> Self {
-        StackParams { n, rb: RbKind::EagerN2, fd: FdKind::Never, cost: CostModel::zero() }
+        StackParams {
+            n,
+            rb: RbKind::EagerN2,
+            fd: FdKind::Never,
+            cost: CostModel::zero(),
+            window: 1,
+        }
     }
 
     /// Same but with a heartbeat ◇S detector — for runs with crashes.
@@ -85,7 +95,14 @@ impl StackParams {
             rb: RbKind::EagerN2,
             fd: FdKind::Heartbeat { interval, timeout },
             cost: CostModel::zero(),
+            window: 1,
         }
+    }
+
+    /// Sets the pipeline window `W` (clamped to at least 1).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
     }
 }
 
@@ -117,6 +134,7 @@ pub fn indirect_ct(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtIndire
         move |k| CtIndirect::with_coord_offset(me, n, k),
         true,
         p.cost,
+        p.window,
     )
 }
 
@@ -132,6 +150,7 @@ pub fn indirect_mr(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrIndire
         move |k| MrIndirect::with_coord_offset(me, n, k),
         true,
         p.cost,
+        p.window,
     )
 }
 
@@ -147,6 +166,7 @@ pub fn direct_ct_messages(me: ProcessId, p: &StackParams) -> AbcastNode<MsgSet, 
         move |k| CtConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
+        p.window,
     )
 }
 
@@ -161,6 +181,7 @@ pub fn direct_mr_messages(me: ProcessId, p: &StackParams) -> AbcastNode<MsgSet, 
         move |k| MrConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
+        p.window,
     )
 }
 
@@ -181,6 +202,7 @@ pub fn faulty_ct_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtCons
         move |k| CtConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
+        p.window,
     )
 }
 
@@ -198,6 +220,7 @@ pub fn faulty_mr_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrCons
         move |k| MrConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
+        p.window,
     )
 }
 
@@ -215,6 +238,7 @@ pub fn urb_ct_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtConsens
         move |k| CtConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
+        p.window,
     )
 }
 
@@ -229,6 +253,7 @@ pub fn urb_mr_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrConsens
         move |k| MrConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
+        p.window,
     )
 }
 
@@ -248,6 +273,16 @@ mod tests {
         let _ = faulty_mr_ids(me, &p);
         let _ = urb_ct_ids(me, &p);
         let _ = urb_mr_ids(me, &p);
+    }
+
+    #[test]
+    fn window_defaults_to_one_and_is_clamped() {
+        let p = StackParams::fault_free(3);
+        assert_eq!(p.window, 1);
+        assert_eq!(p.with_window(8).window, 8);
+        assert_eq!(p.with_window(0).window, 1, "window 0 makes no progress; clamp");
+        let node = indirect_ct(ProcessId::new(0), &p.with_window(4));
+        assert_eq!(node.window(), 4);
     }
 
     #[test]

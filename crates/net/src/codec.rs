@@ -44,6 +44,12 @@ pub fn read_frame<T: Decode, R: Read>(r: &mut R) -> io::Result<T> {
 
 /// An incremental frame decoder for non-blocking readers (accumulates
 /// bytes, yields complete frames).
+///
+/// Decode errors are **sticky**: after an oversized or malformed frame the
+/// buffer is poisoned and every further call fails fast — a byte stream
+/// that has lost framing can never resynchronize, so retrying on the same
+/// bytes would spin forever. Callers must drop the connection on the first
+/// error (see `crate::tcp`).
 #[derive(Debug, Default)]
 pub struct FrameBuffer {
     buf: Vec<u8>,
@@ -51,6 +57,7 @@ pub struct FrameBuffer {
     // cursor, and the buffer is compacted only once the live region starts
     // deep enough to amortize the memmove.
     start: usize,
+    poisoned: bool,
 }
 
 impl FrameBuffer {
@@ -59,36 +66,59 @@ impl FrameBuffer {
         FrameBuffer::default()
     }
 
-    /// Appends raw bytes from the wire.
+    /// Appends raw bytes from the wire. Bytes arriving after a decode
+    /// error are discarded — the stream is already unframeable.
     pub fn extend(&mut self, bytes: &[u8]) {
+        if self.poisoned {
+            return;
+        }
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether a previous decode error poisoned this buffer.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn poison(&mut self, reason: &str) -> io::Error {
+        self.poisoned = true;
+        self.buf = Vec::new();
+        self.start = 0;
+        io::Error::new(io::ErrorKind::InvalidData, reason.to_string())
     }
 
     /// Extracts the next complete frame, if one is buffered.
     ///
     /// # Errors
     ///
-    /// Fails on oversized or malformed frames.
+    /// Fails on oversized or malformed frames, and on every call after the
+    /// first failure (the buffer is poisoned — close the connection).
     pub fn next_frame<T: Decode>(&mut self) -> io::Result<Option<T>> {
+        if self.poisoned {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame buffer poisoned"));
+        }
         let pending = &self.buf[self.start..];
         if pending.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_le_bytes(pending[0..4].try_into().expect("4 bytes")) as usize;
         if len > MAX_FRAME {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+            return Err(self.poison("frame too large"));
         }
         if pending.len() < 4 + len {
             return Ok(None);
         }
-        let value = T::from_bytes(&pending[4..4 + len])
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        self.start += 4 + len;
-        if self.start >= 4096 && self.start * 2 >= self.buf.len() {
-            self.buf.drain(..self.start);
-            self.start = 0;
+        match T::from_bytes(&pending[4..4 + len]) {
+            Ok(value) => {
+                self.start += 4 + len;
+                if self.start >= 4096 && self.start * 2 >= self.buf.len() {
+                    self.buf.drain(..self.start);
+                    self.start = 0;
+                }
+                Ok(Some(value))
+            }
+            Err(e) => Err(self.poison(&e.to_string())),
         }
-        Ok(Some(value))
     }
 }
 
@@ -124,6 +154,38 @@ mod tests {
     fn oversized_frame_is_rejected() {
         let mut fb = FrameBuffer::new();
         fb.extend(&(u32::MAX).to_le_bytes());
+        assert!(fb.next_frame::<u64>().is_err());
+    }
+
+    #[test]
+    fn decode_errors_are_sticky() {
+        // Regression: next_frame used to leave the malformed bytes in
+        // place, so a caller that retried spun on the same frame forever.
+        let mut fb = FrameBuffer::new();
+        // A well-formed length prefix with a malformed body: 2 bytes can
+        // never decode as u64.
+        fb.extend(&2u32.to_le_bytes());
+        fb.extend(&[0xAB, 0xCD]);
+        assert!(!fb.is_poisoned());
+        assert!(fb.next_frame::<u64>().is_err(), "malformed body must fail");
+        assert!(fb.is_poisoned());
+
+        // Even a perfectly good frame appended afterwards must not revive
+        // the stream: framing is already lost.
+        let mut wire = Vec::new();
+        write_frame(&7u64, &mut wire).unwrap();
+        fb.extend(&wire);
+        for _ in 0..3 {
+            assert!(fb.next_frame::<u64>().is_err(), "poisoned buffer must fail fast");
+        }
+    }
+
+    #[test]
+    fn oversized_frame_poisons_too() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(u32::MAX).to_le_bytes());
+        assert!(fb.next_frame::<u64>().is_err());
+        assert!(fb.is_poisoned());
         assert!(fb.next_frame::<u64>().is_err());
     }
 

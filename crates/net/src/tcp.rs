@@ -16,7 +16,7 @@ use iabc_types::{Decode, Encode, ProcessId};
 use parking_lot::Mutex;
 
 use crate::cluster::ThreadCluster;
-use crate::codec::{read_frame, write_frame};
+use crate::codec::{write_frame, FrameBuffer};
 use crate::NetOutput;
 
 /// A mesh of loop-back TCP connections between `n` local "processes".
@@ -273,14 +273,32 @@ where
         return;
     }
     let _claimed_sender = ProcessId::new(u16::from_le_bytes(id));
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 16 * 1024];
     loop {
-        match read_frame::<TaggedOwned<N::Msg>, _>(&mut stream) {
-            Ok(t) => {
-                if inject.send((t.from, t.msg)).is_err() {
+        // Drain every complete frame before reading more bytes.
+        loop {
+            match frames.next_frame::<TaggedOwned<N::Msg>>() {
+                Ok(Some(t)) => {
+                    if inject.send((t.from, t.msg)).is_err() {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt or oversized frame: the buffer is poisoned
+                    // (framing is unrecoverable), so tear the connection
+                    // down instead of spinning on the same bytes.
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
                     return;
                 }
             }
-            Err(_) => return, // peer closed or corrupt stream
+        }
+        match std::io::Read::read(&mut stream, &mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(read) => frames.extend(&chunk[..read]),
+            Err(_) => return,
         }
     }
 }
@@ -320,6 +338,37 @@ mod tests {
         fn on_message(&mut self, from: ProcessId, m: Num, ctx: &mut Context<Num, (ProcessId, u32)>) {
             ctx.output((from, m.0));
         }
+    }
+
+    #[test]
+    fn corrupt_stream_drops_connection_after_first_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let (tx, rx) = unbounded::<(ProcessId, Num)>();
+        let reader = std::thread::spawn(move || reader_loop::<Echo>(server, tx));
+
+        // Handshake, then one good frame.
+        client.write_all(&1u16.to_le_bytes()).unwrap();
+        write_frame(&Tagged { from: ProcessId::new(1), msg: &Num(42) }, &mut client).unwrap();
+        // A malformed frame: the length prefix says 2 bytes, which can
+        // never decode as a Tagged<Num>.
+        client.write_all(&2u32.to_le_bytes()).unwrap();
+        client.write_all(&[0xAB, 0xCD]).unwrap();
+        // A good frame after the corruption must never be delivered (the
+        // reader may already have torn the socket down — ignore errors).
+        let _ = write_frame(&Tagged { from: ProcessId::new(1), msg: &Num(7) }, &mut client);
+
+        let first = rx.recv_timeout(std::time::Duration::from_secs(5));
+        assert_eq!(first.unwrap(), (ProcessId::new(1), Num(42)));
+        // The reader drops the connection and its injector on first error:
+        // the channel disconnects instead of yielding Num(7).
+        assert!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)).is_err(),
+            "no frame may be delivered after a decode error"
+        );
+        reader.join().unwrap();
     }
 
     #[test]

@@ -76,6 +76,37 @@ pub fn arrival_schedule(
     out
 }
 
+/// Coalesces an arrival schedule into broadcast *ticks* of up to
+/// `max_batch` payloads each — the client-side batching knob `B`.
+///
+/// Consecutive arrivals are grouped in order; each group becomes one tick
+/// at the group's **last** arrival instant (a payload is never broadcast
+/// before it arrived, so the open-loop causality of the schedule is
+/// preserved — early payloads of a group simply wait for the batch to
+/// fill). Returns `(tick instant, payload count)` pairs; counts are
+/// `max_batch` for every group except possibly the last.
+///
+/// `max_batch = 1` degenerates to one tick per arrival.
+///
+/// # Panics
+///
+/// Panics if `max_batch` is zero.
+pub fn batched_schedule(
+    kind: ArrivalKind,
+    rate_per_proc: f64,
+    duration: Duration,
+    seed: u64,
+    process: ProcessId,
+    max_batch: usize,
+) -> Vec<(Time, u32)> {
+    assert!(max_batch >= 1, "batch size must be at least 1");
+    let arrivals = arrival_schedule(kind, rate_per_proc, duration, seed, process);
+    arrivals
+        .chunks(max_batch)
+        .map(|chunk| (*chunk.last().expect("chunks are non-empty"), chunk.len() as u32))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +170,43 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_panics() {
         let _ = arrival_schedule(ArrivalKind::Poisson, 0.0, Duration::from_secs(1), 0, p(0));
+    }
+
+    #[test]
+    fn batch_of_one_matches_raw_schedule() {
+        let dur = Duration::from_secs(2);
+        let raw = arrival_schedule(ArrivalKind::Poisson, 100.0, dur, 5, p(0));
+        let ticks = batched_schedule(ArrivalKind::Poisson, 100.0, dur, 5, p(0), 1);
+        assert_eq!(ticks.len(), raw.len());
+        assert!(ticks.iter().zip(&raw).all(|(&(t, c), &r)| t == r && c == 1));
+    }
+
+    #[test]
+    fn batching_preserves_payload_count_and_causality() {
+        let dur = Duration::from_secs(2);
+        for b in [2usize, 7, 16] {
+            let raw = arrival_schedule(ArrivalKind::Poisson, 200.0, dur, 9, p(1));
+            let ticks = batched_schedule(ArrivalKind::Poisson, 200.0, dur, 9, p(1), b);
+            let total: u32 = ticks.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total as usize, raw.len(), "no payload lost or invented at B={b}");
+            // Every full group carries exactly B; only the tail may be short.
+            assert!(ticks[..ticks.len() - 1].iter().all(|&(_, c)| c as usize == b));
+            // A tick never fires before the arrivals it coalesces.
+            let mut idx = 0;
+            for &(t, c) in &ticks {
+                for _ in 0..c {
+                    assert!(raw[idx] <= t, "payload broadcast before it arrived");
+                    idx += 1;
+                }
+            }
+            // Ticks are still sorted.
+            assert!(ticks.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_panics() {
+        let _ = batched_schedule(ArrivalKind::Poisson, 10.0, Duration::from_secs(1), 0, p(0), 0);
     }
 }

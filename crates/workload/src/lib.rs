@@ -15,6 +15,6 @@ pub mod gen;
 pub mod runner;
 pub mod stats;
 
-pub use gen::{arrival_schedule, ArrivalKind};
+pub use gen::{arrival_schedule, batched_schedule, ArrivalKind};
 pub use runner::{run_abcast_experiment, run_variant, ExperimentResult, WorkloadSpec};
 pub use stats::LatencyStats;

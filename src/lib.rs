@@ -17,7 +17,11 @@
 //!   paper's two testbeds, plus thread and TCP runtimes for the same
 //!   sans-io protocol code;
 //! * a benchmark harness regenerating every figure of the paper's
-//!   evaluation.
+//!   evaluation;
+//! * two throughput knobs the paper never measured — a pipelined
+//!   consensus window (`StackParams::with_window`) and client-side
+//!   proposal batching (`WorkloadSpec::with_pipeline`) — plus the
+//!   `pipeline_sweep` bench that maps the `W × B` goodput surface.
 //!
 //! ## Quickstart
 //!

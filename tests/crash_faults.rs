@@ -63,6 +63,24 @@ fn indirect_ct_survives_one_crash_of_three() {
 }
 
 #[test]
+fn pipelined_indirect_ct_survives_one_crash_of_three() {
+    // The pipeline window must not weaken fault tolerance: with W ∈ {4, 16}
+    // the survivors still deliver identical, complete sequences — no
+    // duplicate and no lost ids — after one crash of three.
+    for w in [4usize, 16] {
+        let params = hb(3).with_window(w);
+        let (checker, crashed) =
+            run_with_crashes(3, 30, &[(1, 100)], |p| stacks::indirect_ct(p, &params));
+        let violations = checker.check_complete(&crashed);
+        assert!(violations.is_empty(), "W={w}: {violations:?}");
+        let seq0 = &checker.sequences()[0];
+        let seq2 = &checker.sequences()[2];
+        assert_eq!(seq0, seq2, "W={w}: survivors disagree");
+        assert!(seq0.len() >= 20, "W={w}: survivors stalled at {} deliveries", seq0.len());
+    }
+}
+
+#[test]
 fn indirect_ct_survives_two_crashes_of_five() {
     let params = hb(5);
     let (checker, crashed) =
