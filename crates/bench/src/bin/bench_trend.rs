@@ -1,0 +1,83 @@
+//! CI goodput-trend gate: compares a fresh `BENCH_pipeline_sweep.json`
+//! against the committed baseline and fails on regressions.
+//!
+//! ```sh
+//! bench_trend <baseline.json> <fresh.json> [--max-regression 0.20]
+//! ```
+//!
+//! Grid points are matched by `(mode, window, batch)`; see
+//! [`iabc_bench::trend`] for the comparison rules. Exits non-zero when any
+//! common point regressed beyond the allowed fraction, and also when *no*
+//! point was comparable — a silently empty comparison would let format
+//! drift disable the gate.
+
+use std::fs;
+use std::process::ExitCode;
+
+use iabc_bench::trend::{compare, parse_points, DEFAULT_MAX_REGRESSION};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-regression" {
+            let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("--max-regression needs a fraction, e.g. 0.20");
+                return ExitCode::FAILURE;
+            };
+            max_regression = v;
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: bench_trend <baseline.json> <fresh.json> [--max-regression F]");
+        return ExitCode::FAILURE;
+    };
+
+    let read = |path: &str| match fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline_json), Some(fresh_json)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let baseline = parse_points(&baseline_json);
+    let fresh = parse_points(&fresh_json);
+    println!(
+        "bench_trend: {} baseline points ({baseline_path}), {} fresh points ({fresh_path}), \
+         max regression {:.0}%",
+        baseline.len(),
+        fresh.len(),
+        max_regression * 100.0
+    );
+    let report = compare(&baseline, &fresh, max_regression);
+    for line in &report.compared {
+        println!("  {line}");
+    }
+    if report.compared.is_empty() {
+        eprintln!("bench_trend: no comparable grid points — artifact format drift?");
+        return ExitCode::FAILURE;
+    }
+    // Fresh rows without a baseline key mean the grid drifted: failing
+    // here forces the committed baseline to be regenerated alongside the
+    // grid change, instead of silently un-gating the drifted rows.
+    for u in &report.unmatched {
+        eprintln!("UNMATCHED: {u}");
+    }
+    if report.regressions.is_empty() && report.unmatched.is_empty() {
+        println!("bench_trend: OK, no goodput regression beyond {:.0}%", max_regression * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        for r in &report.regressions {
+            eprintln!("REGRESSION: {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

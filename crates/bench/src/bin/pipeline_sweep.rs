@@ -1,12 +1,21 @@
-//! Sweeps the two throughput knobs this repo adds on top of the paper —
-//! the consensus pipeline window `W` and the client batch size `B` — and
-//! records delivered-payloads/second (goodput) for every grid point.
+//! Sweeps the throughput knobs this repo adds on top of the paper — the
+//! consensus pipeline window `W` (static and adaptive) and the client
+//! batch size `B` — and records delivered-payloads/second (goodput) for
+//! every grid point.
 //!
 //! The paper's figures all run `W = 1, B = 1` (Algorithm 1 verbatim, one
 //! broadcast per payload); this sweep opens the throughput axis the paper
-//! never measured. Output: a text table on stdout and machine-readable
-//! JSON in `results/BENCH_pipeline_sweep.json` so CI can track the perf
-//! trajectory over time.
+//! never measured. Besides the static `W × B` grid it measures one
+//! `adaptive` row per batch size: the AIMD window controller bounded by
+//! `[1, 16]` paired with a server-side proposal cap, which must dominate
+//! every static `W` at the saturation knee — adapting in-flight work to
+//! what the pipeline absorbs is exactly the Ring Paxos observation.
+//!
+//! Output: a text table on stdout and machine-readable JSON in
+//! `results/BENCH_pipeline_sweep.json`. CI diffs that JSON against the
+//! committed baseline with the `bench_trend` binary, so every grid point
+//! pins its RNG seed (`iabc_workload::CI_SMOKE_SEED`, threaded through
+//! `iabc_bench::pipeline_sweep_spec`).
 //!
 //! Run with `--smoke` for the scaled-down CI grid.
 
@@ -14,20 +23,39 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
+use iabc_bench::pipeline_sweep_spec;
 use iabc_core::{ConsensusFamily, CostModel, RbKind, VariantKind};
 use iabc_sim::NetworkParams;
 use iabc_types::Duration;
-use iabc_workload::{run_variant, WorkloadSpec};
+use iabc_workload::run_variant;
+
+/// Window bounds of the adaptive rows.
+const ADAPTIVE_W_MIN: usize = 1;
+const ADAPTIVE_W_MAX: usize = 16;
+/// Proposal cap of the adaptive rows: bounds the per-message `rcv()` cost
+/// so a backlog cannot wedge the CPU with ever-growing proposals, while
+/// staying large enough that per-instance fixed costs amortize (the grid
+/// collapses fast below a few hundred ids per proposal at this load).
+const ADAPTIVE_PROPOSAL_CAP: usize = 512;
 
 /// One measured grid point.
 struct SweepPoint {
+    /// `"static"` or `"adaptive"`.
+    mode: &'static str,
+    /// Static `W`, or `w_max` for adaptive rows.
     window: usize,
+    /// `w_min` (equals `window` for static rows).
+    w_min: usize,
     batch: usize,
     offered_per_sec: f64,
     delivered_per_sec: f64,
     mean_ms: f64,
     missing_pairs: u64,
     saturated: bool,
+    /// Process 0's window when the run ended.
+    final_window: usize,
+    /// Proposals truncated by the cap, summed over all processes.
+    cap_hits: u64,
 }
 
 fn measure_point(
@@ -35,12 +63,15 @@ fn measure_point(
     offered: f64,
     payload: usize,
     duration: Duration,
-    window: usize,
+    window: Option<usize>, // None = adaptive
     batch: usize,
 ) -> SweepPoint {
-    let mut spec = WorkloadSpec::new(n, offered, payload, duration).with_pipeline(window, batch);
-    spec.warmup = Duration::from_millis(400);
-    spec.drain = Duration::from_secs(3);
+    let mut spec = pipeline_sweep_spec(n, offered, payload, duration, window.unwrap_or(1), batch);
+    if window.is_none() {
+        spec = spec
+            .with_adaptive_window(ADAPTIVE_W_MIN, ADAPTIVE_W_MAX)
+            .with_proposal_cap(ADAPTIVE_PROPOSAL_CAP);
+    }
     let r = run_variant(
         VariantKind::Indirect,
         ConsensusFamily::Ct,
@@ -50,13 +81,17 @@ fn measure_point(
         &spec,
     );
     SweepPoint {
-        window,
+        mode: if window.is_some() { "static" } else { "adaptive" },
+        window: window.unwrap_or(ADAPTIVE_W_MAX),
+        w_min: window.unwrap_or(ADAPTIVE_W_MIN),
         batch,
         offered_per_sec: offered,
         delivered_per_sec: r.goodput_per_sec(n),
         mean_ms: r.mean_ms(),
         missing_pairs: r.missing_pairs,
         saturated: r.saturated,
+        final_window: r.final_window,
+        cap_hits: r.proposal_cap_hits,
     }
 }
 
@@ -74,17 +109,25 @@ fn write_json(path: &Path, n: usize, payload: usize, points: &[SweepPoint]) {
         let comma = if i + 1 == points.len() { "" } else { "," };
         let _ = writeln!(
             out,
-            "    {{\"window\": {}, \"batch\": {}, \"offered_per_sec\": {:.1}, \
-             \"delivered_per_sec\": {:.1}, \"mean_ms\": {:.3}, \"missing_pairs\": {}, \
-             \"saturated\": {}}}{comma}",
-            p.window, p.batch, p.offered_per_sec, p.delivered_per_sec, p.mean_ms,
-            p.missing_pairs, p.saturated,
+            "    {{\"mode\": \"{}\", \"window\": {}, \"w_min\": {}, \"batch\": {}, \
+             \"offered_per_sec\": {:.1}, \"delivered_per_sec\": {:.1}, \"mean_ms\": {:.3}, \
+             \"missing_pairs\": {}, \"saturated\": {}, \"final_window\": {}, \
+             \"cap_hits\": {}}}{comma}",
+            p.mode, p.window, p.w_min, p.batch, p.offered_per_sec, p.delivered_per_sec,
+            p.mean_ms, p.missing_pairs, p.saturated, p.final_window, p.cap_hits,
         );
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     fs::create_dir_all(path.parent().expect("results dir")).expect("create results dir");
     fs::write(path, out).expect("write sweep json");
+}
+
+fn row_label(p: &SweepPoint) -> String {
+    match p.mode {
+        "adaptive" => format!("adpt {}..{}", p.w_min, p.window),
+        _ => p.window.to_string(),
+    }
 }
 
 fn main() {
@@ -94,7 +137,7 @@ fn main() {
     // Offered load chosen just past the saturation knee of the
     // un-pipelined, un-batched stack under the Setup-1 cost model
     // (capacity ≈ 3000 payloads/s; beyond it the per-id rcv() cost of the
-    // ever-growing proposals wedges the CPU): the W×B grid then shows how
+    // ever-growing proposals wedges the CPU): the grid then shows how
     // much of that load each configuration actually sustains.
     let offered = 4_000.0;
     // The window must exceed the saturated baseline's multi-second latency
@@ -102,45 +145,80 @@ fn main() {
     // shrinks the grid to the corners, not the measurement window.
     let duration = Duration::from_secs(2);
     let (windows, batches): (&[usize], &[usize]) =
-        if smoke { (&[1, 8], &[1, 16]) } else { (&[1, 2, 4, 8], &[1, 4, 16]) };
+        if smoke { (&[1, 16], &[1, 16]) } else { (&[1, 2, 4, 8, 16], &[1, 4, 16]) };
 
     println!("pipeline_sweep: indirect-CT, n={n}, {offered} payloads/s offered, {payload} B");
     println!(
-        "{:>8} {:>6} | {:>14} {:>10} {:>10} {:>6}",
-        "window", "batch", "delivered/s", "mean[ms]", "missing", "sat"
+        "{:>10} {:>6} | {:>14} {:>10} {:>10} {:>6} {:>7} {:>9}",
+        "window", "batch", "delivered/s", "mean[ms]", "missing", "sat", "W_end", "cap_hits"
     );
     let mut points = Vec::new();
-    for &w in windows {
-        for &b in batches {
-            let p = measure_point(n, offered, payload, duration, w, b);
-            println!(
-                "{:>8} {:>6} | {:>14.1} {:>10.3} {:>10} {:>6}",
-                p.window,
-                p.batch,
-                p.delivered_per_sec,
-                p.mean_ms,
-                p.missing_pairs,
-                if p.saturated { "*" } else { "" }
-            );
-            points.push(p);
+    for &b in batches {
+        for &w in windows {
+            points.push(measure_point(n, offered, payload, duration, Some(w), b));
         }
+        // One adaptive row per batch size, measured after the statics so
+        // the table reads as "…and here is what the controller does".
+        points.push(measure_point(n, offered, payload, duration, None, b));
+    }
+    for p in &points {
+        println!(
+            "{:>10} {:>6} | {:>14.1} {:>10.3} {:>10} {:>6} {:>7} {:>9}",
+            row_label(p),
+            p.batch,
+            p.delivered_per_sec,
+            p.mean_ms,
+            p.missing_pairs,
+            if p.saturated { "*" } else { "" },
+            p.final_window,
+            p.cap_hits,
+        );
     }
 
-    let baseline = points
-        .iter()
-        .find(|p| p.window == 1 && p.batch == 1)
-        .expect("grid contains W=1,B=1");
+    let static_at = |w: usize, b: usize| {
+        points
+            .iter()
+            .find(|p| p.mode == "static" && p.window == w && p.batch == b)
+            .expect("grid point")
+    };
+    let adaptive_at = |b: usize| {
+        points.iter().find(|p| p.mode == "adaptive" && p.batch == b).expect("adaptive row")
+    };
+
+    // Headline 1 (kept from the static sweep): pipelining+batching must at
+    // least double the goodput of Algorithm 1 verbatim at this load.
+    let baseline = static_at(1, 1);
     let best_w = *windows.last().expect("non-empty");
     let best_b = *batches.last().expect("non-empty");
-    let pipelined = points
-        .iter()
-        .find(|p| p.window == best_w && p.batch == best_b)
-        .expect("grid contains the max point");
+    let pipelined = static_at(best_w, best_b);
     let speedup = pipelined.delivered_per_sec / baseline.delivered_per_sec.max(1e-9);
     println!(
         "\nW={best_w},B={best_b} delivers {speedup:.2}x the goodput of W=1,B=1 \
          ({:.0}/s vs {:.0}/s)",
         pipelined.delivered_per_sec, baseline.delivered_per_sec
+    );
+
+    // Headline 2: at the saturation knee (B = 1, where the paper's
+    // workload lives) the adaptive controller must dominate every static
+    // window, and beat the largest static window at least 2x — a static
+    // W=16 multiplies in-flight rcv() bookkeeping on a wedged CPU, the
+    // adaptive controller backs off instead.
+    let adaptive = adaptive_at(1);
+    let best_static_b1 = windows
+        .iter()
+        .map(|&w| static_at(w, 1))
+        .max_by(|a, b| a.delivered_per_sec.total_cmp(&b.delivered_per_sec))
+        .expect("non-empty");
+    let wide_static = static_at(best_w, 1);
+    println!(
+        "adaptive(B=1) delivers {:.0}/s vs best static W={} at {:.0}/s \
+         and static W={best_w} at {:.0}/s (final W {}, {} capped proposals)",
+        adaptive.delivered_per_sec,
+        best_static_b1.window,
+        best_static_b1.delivered_per_sec,
+        wide_static.delivered_per_sec,
+        adaptive.final_window,
+        adaptive.cap_hits,
     );
 
     write_json(Path::new("results/BENCH_pipeline_sweep.json"), n, payload, &points);
@@ -149,5 +227,18 @@ fn main() {
     assert!(
         speedup >= 2.0,
         "pipelining+batching must at least double saturated goodput, got {speedup:.2}x"
+    );
+    assert!(
+        adaptive.delivered_per_sec >= best_static_b1.delivered_per_sec,
+        "adaptive window must dominate every static W at the knee: {:.1}/s < {:.1}/s (W={})",
+        adaptive.delivered_per_sec,
+        best_static_b1.delivered_per_sec,
+        best_static_b1.window,
+    );
+    assert!(
+        adaptive.delivered_per_sec >= 2.0 * wide_static.delivered_per_sec,
+        "adaptive window must at least double static W={best_w} at B=1: {:.1}/s vs {:.1}/s",
+        adaptive.delivered_per_sec,
+        wide_static.delivered_per_sec,
     );
 }

@@ -235,6 +235,28 @@ pub fn write_csv(file: &str, panel: &str, xlabel: &str, series: &[Series]) {
     fs::write(&path, existing).expect("write results csv");
 }
 
+/// The workload spec behind every `pipeline_sweep` grid point — CI smoke
+/// rows included — with the RNG seed pinned to
+/// [`iabc_workload::CI_SMOKE_SEED`] so that `BENCH_pipeline_sweep.json`
+/// artifacts are comparable run-to-run (the bench-trend gate diffs them).
+pub fn pipeline_sweep_spec(
+    n: usize,
+    offered: f64,
+    payload: usize,
+    duration: Duration,
+    window: usize,
+    batch: usize,
+) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new(n, offered, payload, duration)
+        .with_pipeline(window, batch)
+        .with_seed(iabc_workload::CI_SMOKE_SEED);
+    spec.warmup = Duration::from_millis(400);
+    spec.drain = Duration::from_secs(3);
+    spec
+}
+
+pub mod trend;
+
 /// The standard stack selections used across figures.
 pub mod sel {
     use super::*;

@@ -1,0 +1,220 @@
+//! Bench-trend comparison: the CI goodput-regression gate.
+//!
+//! `pipeline_sweep` writes `results/BENCH_pipeline_sweep.json` with one
+//! grid point per line. CI snapshots the *committed* copy as the baseline,
+//! reruns the smoke sweep, and runs the `bench_trend` binary over the two
+//! files: any common grid point whose fresh goodput dropped by more than
+//! the allowed fraction fails the job. Points are matched by
+//! `(mode, window, batch)`; baseline rows below [`MIN_COMPARABLE_GOODPUT`]
+//! are skipped — those are the deliberately collapsed corners of the grid
+//! (e.g. static `W=16, B=1` at the saturation knee) whose tiny residual
+//! goodput is chaotic rather than meaningful.
+//!
+//! The parser is deliberately tiny and format-coupled: it reads the
+//! line-per-point layout `write_json` in `pipeline_sweep` emits (and that
+//! this crate's tests lock down), not arbitrary JSON.
+
+/// Baseline goodput below which a grid point is not trend-checked.
+pub const MIN_COMPARABLE_GOODPUT: f64 = 100.0;
+
+/// Default allowed goodput regression (fraction of baseline).
+pub const DEFAULT_MAX_REGRESSION: f64 = 0.20;
+
+/// One grid point of a `BENCH_pipeline_sweep.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// `"static"` or `"adaptive"` (absent in pre-adaptive artifacts, which
+    /// parse as `"static"`).
+    pub mode: String,
+    /// Static window, or `w_max` for adaptive rows.
+    pub window: usize,
+    /// Client batch size `B`.
+    pub batch: usize,
+    /// Sustained goodput, payloads/second/process.
+    pub delivered_per_sec: f64,
+    /// Whether the run failed to drain ≥ 2% of expected deliveries.
+    pub saturated: bool,
+}
+
+impl TrendPoint {
+    /// The identity a point is matched on across artifacts.
+    pub fn key(&self) -> (String, usize, usize) {
+        (self.mode.clone(), self.window, self.batch)
+    }
+}
+
+/// Extracts the raw text of `"name": <value>` from a JSON line.
+fn raw_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn num_field(line: &str, name: &str) -> Option<f64> {
+    raw_field(line, name)?.parse().ok()
+}
+
+/// Parses the points array of a `BENCH_pipeline_sweep.json` artifact.
+/// Lines that do not carry a complete grid point are ignored, so header
+/// fields and the surrounding array syntax need no real JSON parser.
+pub fn parse_points(json: &str) -> Vec<TrendPoint> {
+    json.lines()
+        .filter_map(|line| {
+            let window = num_field(line, "window")? as usize;
+            let batch = num_field(line, "batch")? as usize;
+            let delivered = num_field(line, "delivered_per_sec")?;
+            let mode = raw_field(line, "mode")
+                .map(|m| m.trim_matches('"').to_string())
+                .unwrap_or_else(|| "static".to_string());
+            let saturated = raw_field(line, "saturated").is_some_and(|s| s == "true");
+            Some(TrendPoint { mode, window, batch, delivered_per_sec: delivered, saturated })
+        })
+        .collect()
+}
+
+/// The verdict of one baseline/fresh comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// Human-readable lines for every point that was compared.
+    pub compared: Vec<String>,
+    /// One message per regression beyond the allowed fraction.
+    pub regressions: Vec<String>,
+    /// Fresh points with no matching baseline key. A non-empty list means
+    /// the grid drifted from the committed baseline — the caller must
+    /// treat it as a failure, or silent key drift would disable the gate
+    /// for exactly those rows while CI stays green.
+    pub unmatched: Vec<String>,
+}
+
+/// Compares a fresh sweep against a baseline. Every fresh point whose
+/// `(mode, window, batch)` exists in the baseline with goodput at or above
+/// [`MIN_COMPARABLE_GOODPUT`] is checked; a fresh goodput below
+/// `baseline × (1 - max_regression)` is a regression. Fresh points absent
+/// from the baseline are reported in [`TrendReport::unmatched`].
+pub fn compare(
+    baseline: &[TrendPoint],
+    fresh: &[TrendPoint],
+    max_regression: f64,
+) -> TrendReport {
+    let mut report =
+        TrendReport { compared: Vec::new(), regressions: Vec::new(), unmatched: Vec::new() };
+    for f in fresh {
+        let label = format!("{} W={} B={}", f.mode, f.window, f.batch);
+        let Some(b) = baseline.iter().find(|b| b.key() == f.key()) else {
+            report.unmatched.push(format!(
+                "{label}: no matching baseline point — regenerate the committed baseline \
+                 (full `pipeline_sweep` run) when the grid changes"
+            ));
+            continue;
+        };
+        if b.delivered_per_sec < MIN_COMPARABLE_GOODPUT {
+            report.compared.push(format!(
+                "{label}: baseline {:.1}/s below the {MIN_COMPARABLE_GOODPUT:.0}/s floor, skipped",
+                b.delivered_per_sec
+            ));
+            continue;
+        }
+        let floor = b.delivered_per_sec * (1.0 - max_regression);
+        report.compared.push(format!(
+            "{label}: baseline {:.1}/s, fresh {:.1}/s (floor {:.1}/s)",
+            b.delivered_per_sec, f.delivered_per_sec, floor
+        ));
+        if f.delivered_per_sec < floor {
+            report.regressions.push(format!(
+                "{label}: goodput regressed {:.1}% ({:.1}/s -> {:.1}/s, allowed {:.0}%)",
+                (1.0 - f.delivered_per_sec / b.delivered_per_sec) * 100.0,
+                b.delivered_per_sec,
+                f.delivered_per_sec,
+                max_regression * 100.0
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(mode: &str, window: usize, batch: usize, delivered: f64) -> TrendPoint {
+        TrendPoint {
+            mode: mode.into(),
+            window,
+            batch,
+            delivered_per_sec: delivered,
+            saturated: false,
+        }
+    }
+
+    #[test]
+    fn parses_the_sweep_artifact_format() {
+        let json = r#"{
+  "bench": "pipeline_sweep",
+  "n": 3,
+  "points": [
+    {"mode": "static", "window": 1, "w_min": 1, "batch": 16, "offered_per_sec": 4000.0, "delivered_per_sec": 3976.0, "mean_ms": 2.377, "missing_pairs": 0, "saturated": false, "final_window": 1, "cap_hits": 0},
+    {"mode": "adaptive", "window": 16, "w_min": 1, "batch": 1, "offered_per_sec": 4000.0, "delivered_per_sec": 2500.5, "mean_ms": 90.0, "missing_pairs": 9, "saturated": true, "final_window": 7, "cap_hits": 31}
+  ]
+}"#;
+        let pts = parse_points(json);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], point("static", 1, 16, 3976.0));
+        assert!(pts[1].saturated);
+        assert_eq!(pts[1].key(), ("adaptive".to_string(), 16, 1));
+    }
+
+    #[test]
+    fn pre_adaptive_artifacts_parse_as_static() {
+        // The committed baseline from before the adaptive row had no
+        // "mode" field; those rows must still match static fresh rows.
+        let old = r#"    {"window": 8, "batch": 16, "offered_per_sec": 4000.0, "delivered_per_sec": 3976.0, "mean_ms": 2.618, "missing_pairs": 0, "saturated": false}"#;
+        let pts = parse_points(old);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].mode, "static");
+    }
+
+    #[test]
+    fn regression_beyond_threshold_is_flagged() {
+        let baseline = vec![point("static", 1, 16, 4000.0), point("adaptive", 16, 1, 2000.0)];
+        let ok = vec![point("static", 1, 16, 3500.0), point("adaptive", 16, 1, 1700.0)];
+        let report = compare(&baseline, &ok, 0.20);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        assert!(report.unmatched.is_empty());
+        assert_eq!(report.compared.len(), 2);
+
+        let bad = vec![point("static", 1, 16, 3100.0)];
+        let report = compare(&baseline, &bad, 0.20);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].contains("static W=1 B=16"), "{}", report.regressions[0]);
+    }
+
+    #[test]
+    fn collapsed_corners_are_skipped_and_unmatched_points_reported() {
+        // W=1,B=1 at the knee delivers ~90/s in the baseline: chaotic
+        // residual goodput, not a trend signal.
+        let baseline = vec![point("static", 1, 1, 91.2)];
+        let fresh = vec![
+            point("static", 1, 1, 10.0),   // collapsed corner: skipped
+            point("static", 4, 4, 2000.0), // not in the baseline: unmatched
+        ];
+        let report = compare(&baseline, &fresh, 0.20);
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.compared.len(), 1);
+        assert!(report.compared[0].contains("skipped"));
+        // Key drift must surface instead of silently disabling the gate.
+        assert_eq!(report.unmatched.len(), 1);
+        assert!(report.unmatched[0].contains("static W=4 B=4"), "{}", report.unmatched[0]);
+    }
+
+    #[test]
+    fn adaptive_and_static_rows_never_cross_match() {
+        let baseline = vec![point("static", 16, 1, 3000.0)];
+        let fresh = vec![point("adaptive", 16, 1, 10.0)];
+        let report = compare(&baseline, &fresh, 0.20);
+        assert!(report.compared.is_empty());
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.unmatched.len(), 1, "cross-mode rows are key drift, not matches");
+    }
+}

@@ -1,0 +1,44 @@
+//! The CI smoke sweep must be reproducible run-to-run: every
+//! `pipeline_sweep` grid point threads the pinned smoke seed, so the JSON
+//! artifacts CI archives (and the bench-trend gate diffs) are comparable
+//! across pushes and machines.
+
+use iabc_bench::pipeline_sweep_spec;
+use iabc_types::Duration;
+use iabc_workload::{batched_schedule, CI_SMOKE_SEED};
+use iabc_types::ProcessId;
+
+#[test]
+fn sweep_specs_pin_the_ci_smoke_seed() {
+    for (w, b) in [(1, 1), (1, 16), (16, 1), (16, 16)] {
+        let spec = pipeline_sweep_spec(3, 4000.0, 64, Duration::from_secs(2), w, b);
+        assert_eq!(spec.seed, CI_SMOKE_SEED, "smoke row W={w},B={b} must pin the seed");
+        assert_eq!((spec.window, spec.batch), (w, b));
+    }
+}
+
+#[test]
+fn pinned_seed_makes_smoke_schedules_identical() {
+    let spec = pipeline_sweep_spec(3, 4000.0, 64, Duration::from_secs(2), 1, 16);
+    let horizon = spec.warmup + spec.duration;
+    for p in ProcessId::all(spec.n) {
+        let a = batched_schedule(
+            spec.arrivals,
+            spec.throughput / spec.n as f64,
+            horizon,
+            spec.seed,
+            p,
+            spec.batch,
+        );
+        let b = batched_schedule(
+            spec.arrivals,
+            spec.throughput / spec.n as f64,
+            horizon,
+            CI_SMOKE_SEED,
+            p,
+            spec.batch,
+        );
+        assert_eq!(a, b, "schedule for {p:?} must be reproducible from the pinned seed");
+        assert!(!a.is_empty());
+    }
+}

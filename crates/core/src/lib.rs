@@ -58,7 +58,7 @@ use iabc_types::{AppMessage, MsgId, Payload};
 pub use envelope::Envelope;
 pub use monitor::{AbcastChecker, Violation};
 pub use msgset::MsgSet;
-pub use node::{AbcastNode, OrderingValue};
+pub use node::{AbcastNode, OrderingValue, PipelineConfig, PipelineProbe, WindowController};
 pub use stacks::{ConsensusFamily, RbKind, StackParams, VariantKind};
 pub use store::{CostModel, ReceivedStore};
 

@@ -9,6 +9,210 @@ use iabc_fd::{FailureDetector, FdDest, FdEvent, FdOut};
 use iabc_runtime::{Context, Node, TimerId};
 use iabc_types::{AppMessage, Duration, IdSet, MsgId, ProcessId, ProcessSet};
 
+/// Configuration of the consensus pipeline: window bounds, the adaptive
+/// controller's thresholds, and the server-side proposal cap.
+///
+/// `w_min == w_max` is a *static* window — the controller is inert and the
+/// node behaves exactly like the fixed-`W` pipeline (`W = 1` is Algorithm 1
+/// verbatim, what every paper-figure bin measures). `w_min < w_max` arms
+/// the AIMD controller (see [`WindowController`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Lower window bound (≥ 1). Also the controller's starting window.
+    pub w_min: usize,
+    /// Upper window bound (≥ `w_min`).
+    pub w_max: usize,
+    /// Decision latency (local propose → decision applied) above which the
+    /// adaptive controller halves the window.
+    pub latency_target: Duration,
+    /// `unordered` backlog depth above which the adaptive controller
+    /// halves the window even if latency still looks healthy.
+    pub backlog_limit: usize,
+    /// Maximum identifiers per proposal; the remainder *spills* to the
+    /// next instance. `usize::MAX` = uncapped (the seed behaviour).
+    pub max_proposal_ids: usize,
+}
+
+impl PipelineConfig {
+    /// A static window of `w` instances (clamped to at least 1), uncapped
+    /// proposals — today's `with_window` behaviour.
+    pub fn fixed(w: usize) -> Self {
+        let w = w.max(1);
+        PipelineConfig {
+            w_min: w,
+            w_max: w,
+            latency_target: Duration::from_millis(10),
+            backlog_limit: 1024,
+            max_proposal_ids: usize::MAX,
+        }
+    }
+
+    /// An adaptive window in `[min, max]` (clamped to `1 ≤ min ≤ max`).
+    pub fn adaptive(min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        PipelineConfig { w_min: min, w_max: max.max(min), ..PipelineConfig::fixed(1) }
+    }
+
+    /// Whether the AIMD controller is armed.
+    pub fn is_adaptive(&self) -> bool {
+        self.w_min < self.w_max
+    }
+}
+
+/// AIMD controller for the pipeline window `W`.
+///
+/// Fed one observation per *locally proposed* decision as it is applied:
+/// the instance's decision latency (propose → apply, including any
+/// in-order buffering — head-of-line blocking is precisely the congestion
+/// signal) and the `unordered` backlog depth after the decision.
+///
+/// * **Additive increase**: after `W` consecutive healthy decisions while
+///   the window was fully occupied and work was still waiting, grow by 1
+///   (up to `w_max`). Requiring full occupancy keeps an idle system from
+///   drifting to `w_max` with a stale window.
+/// * **Multiplicative decrease**: a decision over the latency target, or a
+///   backlog past the limit, halves the window (down to `w_min`). Only
+///   instances proposed *after* the previous decrease can trigger another
+///   one — decisions already in flight reflect the old window, and
+///   punishing them again would collapse straight to `w_min` on every
+///   congestion burst.
+/// * **Spill pressure** (capped pipelines only): when the backlog exceeds
+///   what a full window of capped proposals can even hold
+///   (`backlog > W × max_proposal_ids`), the window grows on every
+///   decision instead of halving — the cap already bounds the per-message
+///   `rcv()` bookkeeping each instance can cost, so the right response to
+///   a deep backlog is more concurrency, not less. Shrinking resumes once
+///   the backlog fits the window again. Uncapped adaptive pipelines have
+///   no spill pressure: for them a deep backlog means unbounded proposals
+///   are already wedging the CPU, and the backlog limit halves the window
+///   exactly as the static sweep's `W=16, B=1` collapse demands.
+#[derive(Debug, Clone)]
+pub struct WindowController {
+    cfg: PipelineConfig,
+    cur: usize,
+    /// Consecutive healthy, window-limited decisions since the last change.
+    good_streak: usize,
+    /// Instances ≤ this watermark cannot trigger a decrease.
+    decrease_watermark: u64,
+    increases: u64,
+    decreases: u64,
+}
+
+impl WindowController {
+    /// Creates a controller starting at `cfg.w_min`.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        WindowController {
+            cfg,
+            cur: cfg.w_min,
+            good_streak: 0,
+            decrease_watermark: 0,
+            increases: 0,
+            decreases: 0,
+        }
+    }
+
+    /// The window the pipeline may currently fill.
+    pub fn current(&self) -> usize {
+        self.cur
+    }
+
+    /// `(w_min, w_max)`.
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.cfg.w_min, self.cfg.w_max)
+    }
+
+    /// Whether this controller adapts at all.
+    pub fn is_adaptive(&self) -> bool {
+        self.cfg.is_adaptive()
+    }
+
+    /// `(additive increases, multiplicative decreases)` so far.
+    pub fn adaptations(&self) -> (u64, u64) {
+        (self.increases, self.decreases)
+    }
+
+    /// How many capped instances the backlog needs, clamped to the
+    /// bounds; `w_min` for uncapped pipelines.
+    fn window_needed(&self, backlog: usize) -> usize {
+        if self.cfg.max_proposal_ids == usize::MAX {
+            return self.cfg.w_min;
+        }
+        backlog.div_ceil(self.cfg.max_proposal_ids).clamp(self.cfg.w_min, self.cfg.w_max)
+    }
+
+    /// Fed by the proposer each time it fills the window while the
+    /// backlog spills past it (capped pipelines only): widens the window
+    /// toward what the backlog needs *now*, without waiting for a
+    /// decision. Decisions are the controller's usual clock, but under
+    /// overload they are exactly what becomes scarce — a controller that
+    /// only adapts on decisions wedges at the old window.
+    pub fn on_spill(&mut self, backlog: usize) {
+        if !self.cfg.is_adaptive() || self.cfg.max_proposal_ids == usize::MAX {
+            return;
+        }
+        if backlog > self.cur.saturating_mul(self.cfg.max_proposal_ids)
+            && self.cur < self.cfg.w_max
+        {
+            self.cur = self.window_needed(backlog).max(self.cur + 1).min(self.cfg.w_max);
+            self.good_streak = 0;
+            self.increases += 1;
+        }
+    }
+
+    /// Feeds the decision of instance `k`. `proposed_hi` is the highest
+    /// locally proposed instance (the watermark for decrease damping),
+    /// `latency` the propose→apply time when known, `backlog` the
+    /// `unordered` depth after the decision, and `window_was_full` whether
+    /// the pipeline was at capacity when the decision landed.
+    pub fn on_decision(
+        &mut self,
+        k: u64,
+        proposed_hi: u64,
+        latency: Option<Duration>,
+        backlog: usize,
+        window_was_full: bool,
+    ) {
+        if !self.cfg.is_adaptive() {
+            return;
+        }
+        // Spill pressure: the backlog does not even fit a full window of
+        // capped proposals (uncapped pipelines never spill — a single
+        // proposal holds any backlog).
+        let spill_pressure = self.cfg.max_proposal_ids != usize::MAX
+            && backlog > self.cur.saturating_mul(self.cfg.max_proposal_ids);
+        let over_latency = latency.is_some_and(|l| l > self.cfg.latency_target);
+        if (over_latency || backlog > self.cfg.backlog_limit) && !spill_pressure {
+            if k > self.decrease_watermark {
+                // Halve, but never below what the backlog still needs
+                // (capped pipelines): dropping under that would just
+                // re-trigger spill growth on the next proposal.
+                self.cur = (self.cur / 2).max(self.window_needed(backlog)).max(self.cfg.w_min);
+                self.decrease_watermark = proposed_hi;
+                self.good_streak = 0;
+                self.decreases += 1;
+            }
+            return;
+        }
+        if window_was_full && backlog > 0 && self.cur < self.cfg.w_max {
+            self.good_streak += 1;
+            if spill_pressure {
+                // The backlog dictates the window: jump to the number of
+                // capped instances the backlog actually needs (at least
+                // one step).
+                self.cur = self.window_needed(backlog).max(self.cur + 1).min(self.cfg.w_max);
+                self.good_streak = 0;
+                self.increases += 1;
+            } else if self.good_streak >= self.cur {
+                // Classic additive increase: +1 per window of healthy
+                // decisions.
+                self.cur += 1;
+                self.good_streak = 0;
+                self.increases += 1;
+            }
+        }
+    }
+}
+
 use crate::envelope::Envelope;
 use crate::msgset::MsgSet;
 use crate::store::{CostModel, ReceivedStore};
@@ -158,9 +362,15 @@ pub struct AbcastNode<V: OrderingValue, A: SingleConsensus<V>> {
     /// Whether the oracle really checks the store (`false` = faulty/direct).
     check_store: bool,
     cost: CostModel,
-    /// Pipeline window `W`: maximum number of instances proposed but not
-    /// yet applied. `1` reproduces Algorithm 1 verbatim.
-    window: usize,
+    /// Pipeline window `W`: the controller caps how many instances may be
+    /// proposed but not yet applied. Static configs reproduce the fixed-`W`
+    /// pipeline (`W = 1` is Algorithm 1 verbatim).
+    controller: WindowController,
+    /// Maximum identifiers per proposal; the rest spills to the next
+    /// instance (`usize::MAX` = uncapped).
+    max_proposal_ids: usize,
+    /// Proposals whose candidate set exceeded `max_proposal_ids`.
+    cap_hits: u64,
     /// Serial number of the latest instance proposed locally (line 6).
     proposed_hi: u64,
     /// The next instance whose decision may be applied; decisions for
@@ -184,7 +394,7 @@ impl<V: OrderingValue, A: SingleConsensus<V>> fmt::Debug for AbcastNode<V, A> {
             .field("me", &self.me)
             .field("proposed_hi", &self.proposed_hi)
             .field("next_apply", &self.next_apply)
-            .field("window", &self.window)
+            .field("window", &self.controller.current())
             .field("in_flight", &self.in_flight.len())
             .field("unordered", &self.unordered.len())
             .field("ordered_pending", &self.ordered.len())
@@ -199,7 +409,7 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     /// Assembles a node from its modules. `algo_factory` builds the state
     /// machine of each consensus instance; `check_store` selects whether
     /// the `rcv` oracle really consults the received-message store;
-    /// `window` is the pipeline width `W` (clamped to at least 1).
+    /// `pipeline` configures the window controller and the proposal cap.
     #[allow(clippy::too_many_arguments)] // module wiring; called via stacks::*
     pub fn new(
         me: ProcessId,
@@ -209,7 +419,7 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         algo_factory: impl FnMut(u64) -> A + Send + 'static,
         check_store: bool,
         cost: CostModel,
-        window: usize,
+        pipeline: PipelineConfig,
     ) -> Self {
         AbcastNode {
             me,
@@ -224,7 +434,9 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             suspected: ProcessSet::new(),
             check_store,
             cost,
-            window: window.max(1),
+            controller: WindowController::new(pipeline),
+            max_proposal_ids: pipeline.max_proposal_ids.max(1),
+            cap_hits: 0,
             proposed_hi: 0,
             next_apply: 1,
             in_flight: BTreeMap::new(),
@@ -260,9 +472,31 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         self.proposed_hi
     }
 
-    /// Pipeline window `W` this node runs with.
+    /// Pipeline window `W` the node may currently fill (fixed for static
+    /// configs; moves within `[w_min, w_max]` for adaptive ones).
     pub fn window(&self) -> usize {
-        self.window
+        self.controller.current()
+    }
+
+    /// `(w_min, w_max)` of the window controller.
+    pub fn window_bounds(&self) -> (usize, usize) {
+        self.controller.bounds()
+    }
+
+    /// Whether this node runs the adaptive window controller.
+    pub fn is_adaptive_window(&self) -> bool {
+        self.controller.is_adaptive()
+    }
+
+    /// `(additive increases, multiplicative decreases)` performed by the
+    /// window controller so far.
+    pub fn window_adaptations(&self) -> (u64, u64) {
+        self.controller.adaptations()
+    }
+
+    /// Proposals truncated by the `max_proposal_ids` cap so far.
+    pub fn proposal_cap_hits(&self) -> u64 {
+        self.cap_hits
     }
 
     /// Instances proposed locally whose decision has not been applied yet.
@@ -359,6 +593,18 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         }
     }
 
+    /// The window controller's backlog signal: unordered ids *minus* ids
+    /// already sitting in buffered (decided, not yet applied) decisions —
+    /// those are ordered work awaiting the in-order apply, not demand for
+    /// window slots, and counting them would inflate spill pressure
+    /// exactly during the out-of-order decision bursts the controller is
+    /// meant to ride out. Ids double-decided by an applied instance make
+    /// the subtraction conservative (never an overestimate).
+    fn backlog_signal(&self) -> usize {
+        let buffered: usize = self.decision_buffer.values().map(V::id_count).sum();
+        self.unordered.len().saturating_sub(buffered)
+    }
+
     /// Algorithm 1 lines 11–14: R-deliver.
     fn rdeliver(&mut self, m: AppMessage, ctx: &mut Ctx<V>) {
         let id = m.id();
@@ -376,10 +622,23 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     /// Algorithm 1 lines 15–18, generalized to a pipeline: keep proposing
     /// consecutive instances while the window has room and there are
     /// unordered identifiers not already claimed by an in-flight proposal.
+    ///
+    /// Proposals are capped at `max_proposal_ids` identifiers; the
+    /// remainder stays in `unordered` and *spills* into the next instance
+    /// (this loop, or a later window slot). The cap bounds the per-message
+    /// `rcv()` cost at saturation — uncapped, a wedged CPU grows proposals
+    /// without limit and every consensus message gets costlier to check,
+    /// the death spiral the static sweep shows at `W=1, B=1`.
     fn maybe_propose(&mut self, ctx: &mut Ctx<V>) {
         loop {
-            if self.in_flight.len() >= self.window {
-                return;
+            if self.in_flight.len() >= self.controller.current() {
+                // A full window with a spilling backlog is the signal to
+                // widen it (see [`WindowController::on_spill`]); if the
+                // controller grows, keep proposing into the new slots.
+                self.controller.on_spill(self.backlog_signal());
+                if self.in_flight.len() >= self.controller.current() {
+                    return;
+                }
             }
             // Ids already riding an in-flight instance are spoken for, and
             // ids in a buffered (decided, not yet applied) decision are
@@ -395,6 +654,22 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             if candidate.is_empty() {
                 return;
             }
+            if candidate.len() > self.max_proposal_ids {
+                // Take the *oldest* ids first, round-robin across senders
+                // (order by (seq, sender), not the set's (sender, seq)
+                // order): old ids have had time to flood, so acceptors
+                // hold them and `rcv` passes in one round, and no sender
+                // is starved by the cap. Deterministic, so every process
+                // slices a shared backlog the same way. Partition-select
+                // rather than sort: the backlog can be enormous exactly
+                // when the cap matters.
+                let mut oldest: Vec<MsgId> = candidate.iter().collect();
+                let cap = self.max_proposal_ids;
+                oldest.select_nth_unstable_by_key(cap - 1, |id| (id.seq(), id.sender()));
+                oldest.truncate(cap);
+                candidate = IdSet::from_ids(oldest);
+                self.cap_hits += 1;
+            }
             self.proposed_hi += 1;
             let k = self.proposed_hi;
             let proposal = V::from_unordered(&candidate, &self.store);
@@ -409,6 +684,7 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
                 };
                 self.mgr.propose(k, proposal, &oracle, self.suspected, &mut mout);
             }
+            self.mgr.note_proposed(k, ctx.now());
             // May recurse into handle_decision (an instance can decide
             // immediately); the loop re-reads window occupancy afterwards.
             self.apply_mgr_out(mout, ctx);
@@ -439,6 +715,7 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     /// Algorithm 1 lines 18–21: applies the decision of instance `k`
     /// (callers guarantee `k` is exactly the next instance in order).
     fn apply_decision(&mut self, k: u64, v: V, ctx: &mut Ctx<V>) {
+        let window_was_full = self.in_flight.len() >= self.controller.current();
         self.in_flight.remove(&k);
         // Full-message values teach us payloads we may not have R-delivered
         // yet (and in the classic reduction, this is the only way a slow
@@ -457,6 +734,11 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             // duplicate here, so the total order stays identical.
         }
         self.try_deliver(ctx);
+        // Feed the window controller before proposing again, so the next
+        // round of proposals sees the adapted window.
+        let latency = self.mgr.decision_latency(k, ctx.now());
+        let backlog = self.backlog_signal();
+        self.controller.on_decision(k, self.proposed_hi, latency, backlog, window_was_full);
         // Bound the manager's footprint: old decided instances only serve
         // stragglers, and the decide relay already covers those in practice.
         self.mgr.gc_decided_below(self.next_apply, KEEP_DECIDED_INSTANCES);
@@ -473,6 +755,26 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             self.delivered_count += 1;
             ctx.output(AbcastEvent::Delivered { msg });
         }
+    }
+}
+
+/// Read-only probe of a node's pipeline controller, for experiment
+/// runners that are generic over the stack (see
+/// `iabc_workload::run_abcast_experiment`).
+pub trait PipelineProbe {
+    /// The pipeline window the node may currently fill.
+    fn current_window(&self) -> usize;
+    /// Proposals truncated by the proposal cap so far.
+    fn capped_proposals(&self) -> u64;
+}
+
+impl<V: OrderingValue, A: SingleConsensus<V>> PipelineProbe for AbcastNode<V, A> {
+    fn current_window(&self) -> usize {
+        self.window()
+    }
+
+    fn capped_proposals(&self) -> u64 {
+        self.proposal_cap_hits()
     }
 }
 
@@ -550,6 +852,10 @@ mod tests {
 
     /// A three-process indirect-CT node under direct test control.
     fn test_node(window: usize) -> AbcastNode<IdSet, CtConsensus<IdSet>> {
+        test_node_with(PipelineConfig::fixed(window))
+    }
+
+    fn test_node_with(pipeline: PipelineConfig) -> AbcastNode<IdSet, CtConsensus<IdSet>> {
         AbcastNode::new(
             ProcessId::new(0),
             3,
@@ -558,7 +864,7 @@ mod tests {
             |k| CtConsensus::with_coord_offset(ProcessId::new(0), 3, k),
             true,
             CostModel::zero(),
-            window,
+            pipeline,
         )
     }
 
@@ -705,6 +1011,170 @@ mod tests {
             vec![msg(1, 0).id(), msg(1, 1).id()],
             "order fixed by instance order, duplicates dropped"
         );
+    }
+
+    #[test]
+    fn capped_proposal_spills_remainder_to_next_instance() {
+        let mut cfg = PipelineConfig::fixed(1);
+        cfg.max_proposal_ids = 2;
+        let mut node = test_node_with(cfg);
+        let mut c = ctx();
+        for seq in 0..5 {
+            deliver_data(&mut node, 1, msg(1, seq), &mut c);
+        }
+        // Instance 1 was proposed eagerly with just {m0}; the other four
+        // ids queued behind the W=1 window.
+        assert_eq!(node.instance(), 1);
+        assert_eq!(node.proposal_cap_hits(), 0);
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        // The freed slot proposes the backlog, truncated to the cap: the
+        // first two ids ride instance 2, the rest spill.
+        assert_eq!(node.instance(), 2);
+        assert_eq!(node.proposal_cap_hits(), 1, "four candidates over a cap of two");
+        deliver_decide(&mut node, 2, IdSet::from_ids([msg(1, 1).id(), msg(1, 2).id()]), &mut c);
+        // The spilled remainder fits the cap exactly: no further hit.
+        assert_eq!(node.instance(), 3);
+        assert_eq!(node.proposal_cap_hits(), 1);
+        deliver_decide(&mut node, 3, IdSet::from_ids([msg(1, 3).id(), msg(1, 4).id()]), &mut c);
+        assert_eq!(node.delivered_count(), 5, "no id may be lost to the cap");
+        assert_eq!(
+            delivered_ids(&mut c),
+            (0..5).map(|s| msg(1, s).id()).collect::<Vec<_>>(),
+            "spill preserves the deterministic order"
+        );
+    }
+
+    #[test]
+    fn static_window_controller_is_inert() {
+        let mut ctrl = WindowController::new(PipelineConfig::fixed(4));
+        assert!(!ctrl.is_adaptive());
+        for k in 1..100u64 {
+            ctrl.on_decision(k, k, Some(Duration::from_secs(10)), 10_000, true);
+        }
+        assert_eq!(ctrl.current(), 4);
+        assert_eq!(ctrl.adaptations(), (0, 0));
+    }
+
+    #[test]
+    fn controller_grows_additively_under_healthy_full_load() {
+        let mut ctrl = WindowController::new(PipelineConfig::adaptive(1, 8));
+        assert_eq!(ctrl.current(), 1, "adaptive windows start at w_min");
+        let fast = Some(Duration::from_millis(1));
+        // Healthy decisions with a full window and waiting work: +1 per
+        // `cur` consecutive good decisions, capped at w_max.
+        for k in 1..200u64 {
+            ctrl.on_decision(k, k, fast, 5, true);
+        }
+        assert_eq!(ctrl.current(), 8);
+        assert_eq!(ctrl.adaptations().0, 7);
+        // An idle window (not full, or no backlog) never grows.
+        let mut idle = WindowController::new(PipelineConfig::adaptive(1, 8));
+        for k in 1..200u64 {
+            idle.on_decision(k, k, fast, 0, true);
+            idle.on_decision(k, k, fast, 5, false);
+        }
+        assert_eq!(idle.current(), 1, "idle pipelines must not drift to w_max");
+    }
+
+    #[test]
+    fn controller_halves_on_congestion_with_damping() {
+        let mut cfg = PipelineConfig::adaptive(1, 16);
+        cfg.latency_target = Duration::from_millis(10);
+        let mut ctrl = WindowController::new(cfg);
+        let fast = Some(Duration::from_millis(1));
+        for k in 1..200u64 {
+            ctrl.on_decision(k, k, fast, 5, true);
+        }
+        assert_eq!(ctrl.current(), 16);
+        // One slow decision halves…
+        ctrl.on_decision(200, 216, Some(Duration::from_millis(50)), 5, true);
+        assert_eq!(ctrl.current(), 8);
+        // …but instances proposed before the decrease (≤ watermark 216)
+        // cannot halve again: they reflect the old window.
+        for k in 201..=216u64 {
+            ctrl.on_decision(k, 216, Some(Duration::from_millis(50)), 5, true);
+        }
+        assert_eq!(ctrl.current(), 8, "in-flight stragglers must not re-halve");
+        // A slow decision from the post-decrease generation does.
+        ctrl.on_decision(217, 230, Some(Duration::from_millis(50)), 5, true);
+        assert_eq!(ctrl.current(), 4);
+        // Backlog over the limit is the other congestion signal.
+        ctrl.on_decision(231, 240, fast, cfg.backlog_limit + 1, true);
+        assert_eq!(ctrl.current(), 2);
+        // The floor is w_min.
+        ctrl.on_decision(241, 250, Some(Duration::from_secs(1)), 0, true);
+        ctrl.on_decision(251, 260, Some(Duration::from_secs(1)), 0, true);
+        assert_eq!(ctrl.current(), 1);
+    }
+
+    #[test]
+    fn spill_pressure_grows_the_window_without_waiting_for_decisions() {
+        let mut cfg = PipelineConfig::adaptive(1, 16);
+        cfg.max_proposal_ids = 100;
+        let mut ctrl = WindowController::new(cfg);
+        // Backlog fits the window: no growth.
+        ctrl.on_spill(100);
+        assert_eq!(ctrl.current(), 1);
+        // Backlog needs 6 capped instances: jump straight there.
+        ctrl.on_spill(550);
+        assert_eq!(ctrl.current(), 6);
+        // Clamped at w_max no matter how deep the backlog is.
+        ctrl.on_spill(1_000_000);
+        assert_eq!(ctrl.current(), 16);
+        ctrl.on_spill(1_000_000);
+        assert_eq!(ctrl.current(), 16, "w_max is a hard bound");
+        // Uncapped controllers have no spill signal at all.
+        let mut uncapped = WindowController::new(PipelineConfig::adaptive(1, 16));
+        uncapped.on_spill(1_000_000);
+        assert_eq!(uncapped.current(), 1);
+        // Nor do static ones.
+        let mut cfg = PipelineConfig::fixed(2);
+        cfg.max_proposal_ids = 10;
+        let mut fixed = WindowController::new(cfg);
+        fixed.on_spill(1_000_000);
+        assert_eq!(fixed.current(), 2);
+    }
+
+    #[test]
+    fn congestion_halving_never_drops_below_what_the_backlog_needs() {
+        let mut cfg = PipelineConfig::adaptive(1, 16);
+        cfg.max_proposal_ids = 100;
+        cfg.latency_target = Duration::from_millis(10);
+        let mut ctrl = WindowController::new(cfg);
+        ctrl.on_spill(1_600);
+        assert_eq!(ctrl.current(), 16);
+        // A late decision with the backlog at 900 ids: halving would give
+        // 8, and the backlog needs 9 — the floor wins, so the next
+        // proposals do not immediately re-trigger spill growth.
+        ctrl.on_decision(1, 20, Some(Duration::from_secs(1)), 900, true);
+        assert_eq!(ctrl.current(), 9);
+        // With the backlog drained, halving reaches for w_min again.
+        ctrl.on_decision(21, 40, Some(Duration::from_secs(1)), 0, true);
+        assert_eq!(ctrl.current(), 4);
+        // And deep spill pressure suppresses the decrease entirely: the
+        // cap already bounds per-instance bookkeeping, so a deep backlog
+        // wants more concurrency, not less.
+        ctrl.on_decision(41, 60, Some(Duration::from_secs(1)), 100_000, true);
+        assert_eq!(ctrl.current(), 16, "spill pressure must override halving");
+    }
+
+    #[test]
+    fn adaptive_node_reacts_to_decision_latency() {
+        let mut cfg = PipelineConfig::adaptive(1, 4);
+        cfg.latency_target = Duration::from_millis(5);
+        let mut node = test_node_with(cfg);
+        assert!(node.is_adaptive_window());
+        assert_eq!(node.window_bounds(), (1, 4));
+        let mut c = ctx();
+        // Instance 1 proposed at t=0; its decision arrives *late*.
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        deliver_data(&mut node, 1, msg(1, 1), &mut c);
+        assert_eq!(node.window(), 1);
+        c.set_now(Time::ZERO + Duration::from_millis(50));
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        // Already at w_min, so the halving is a no-op, but it was counted.
+        assert_eq!(node.window(), 1);
+        assert_eq!(node.window_adaptations().1, 1, "late decision must register");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use iabc_fd::{FailureDetector, HeartbeatFd, NeverSuspect};
 use iabc_types::{Duration, IdSet, ProcessId};
 
 use crate::msgset::MsgSet;
-use crate::node::AbcastNode;
+use crate::node::{AbcastNode, PipelineConfig};
 use crate::store::CostModel;
 
 /// Which ◇S consensus family a stack uses.
@@ -69,10 +69,11 @@ pub struct StackParams {
     pub fd: FdKind,
     /// CPU cost model for the bookkeeping.
     pub cost: CostModel,
-    /// Pipeline window `W`: maximum consensus instances in flight per node.
-    /// `1` (the default everywhere) reproduces Algorithm 1 one instance at
-    /// a time and is what the paper-figure bins measure.
-    pub window: usize,
+    /// Pipeline configuration: window bounds (static `W` when
+    /// `w_min == w_max`, the default `1` everywhere — exactly what the
+    /// paper-figure bins measure), the adaptive controller's thresholds,
+    /// and the server-side proposal cap.
+    pub pipeline: PipelineConfig,
 }
 
 impl StackParams {
@@ -84,7 +85,7 @@ impl StackParams {
             rb: RbKind::EagerN2,
             fd: FdKind::Never,
             cost: CostModel::zero(),
-            window: 1,
+            pipeline: PipelineConfig::fixed(1),
         }
     }
 
@@ -95,13 +96,48 @@ impl StackParams {
             rb: RbKind::EagerN2,
             fd: FdKind::Heartbeat { interval, timeout },
             cost: CostModel::zero(),
-            window: 1,
+            pipeline: PipelineConfig::fixed(1),
         }
     }
 
-    /// Sets the pipeline window `W` (clamped to at least 1).
+    /// Sets a *static* pipeline window `W` (clamped to at least 1) — the
+    /// controller is inert and the node keeps exactly this many instances
+    /// in flight when work is available.
     pub fn with_window(mut self, window: usize) -> Self {
-        self.window = window.max(1);
+        let w = window.max(1);
+        self.pipeline.w_min = w;
+        self.pipeline.w_max = w;
+        self
+    }
+
+    /// Arms the AIMD window controller with bounds `[min, max]` (clamped
+    /// to `1 ≤ min ≤ max`): the window starts at `min`, grows additively
+    /// while decisions land under the latency target, and halves on
+    /// congestion.
+    pub fn with_adaptive_window(mut self, min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        self.pipeline.w_min = min;
+        self.pipeline.w_max = max.max(min);
+        self
+    }
+
+    /// Sets the decision-latency target of the adaptive controller.
+    pub fn with_latency_target(mut self, target: Duration) -> Self {
+        self.pipeline.latency_target = target;
+        self
+    }
+
+    /// Sets the `unordered`-backlog depth past which the adaptive
+    /// controller treats the pipeline as congested.
+    pub fn with_backlog_limit(mut self, limit: usize) -> Self {
+        self.pipeline.backlog_limit = limit;
+        self
+    }
+
+    /// Caps proposals at `cap` identifiers (clamped to at least 1); the
+    /// remainder spills to the next consensus instance.
+    pub fn with_proposal_cap(mut self, cap: usize) -> Self {
+        self.pipeline.max_proposal_ids = cap.max(1);
         self
     }
 }
@@ -134,7 +170,7 @@ pub fn indirect_ct(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtIndire
         move |k| CtIndirect::with_coord_offset(me, n, k),
         true,
         p.cost,
-        p.window,
+        p.pipeline,
     )
 }
 
@@ -150,7 +186,7 @@ pub fn indirect_mr(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrIndire
         move |k| MrIndirect::with_coord_offset(me, n, k),
         true,
         p.cost,
-        p.window,
+        p.pipeline,
     )
 }
 
@@ -166,7 +202,7 @@ pub fn direct_ct_messages(me: ProcessId, p: &StackParams) -> AbcastNode<MsgSet, 
         move |k| CtConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
-        p.window,
+        p.pipeline,
     )
 }
 
@@ -181,7 +217,7 @@ pub fn direct_mr_messages(me: ProcessId, p: &StackParams) -> AbcastNode<MsgSet, 
         move |k| MrConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
-        p.window,
+        p.pipeline,
     )
 }
 
@@ -202,7 +238,7 @@ pub fn faulty_ct_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtCons
         move |k| CtConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
-        p.window,
+        p.pipeline,
     )
 }
 
@@ -220,7 +256,7 @@ pub fn faulty_mr_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrCons
         move |k| MrConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
-        p.window,
+        p.pipeline,
     )
 }
 
@@ -238,7 +274,7 @@ pub fn urb_ct_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtConsens
         move |k| CtConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
-        p.window,
+        p.pipeline,
     )
 }
 
@@ -253,7 +289,7 @@ pub fn urb_mr_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrConsens
         move |k| MrConsensus::with_coord_offset(me, n, k),
         false,
         p.cost,
-        p.window,
+        p.pipeline,
     )
 }
 
@@ -278,11 +314,35 @@ mod tests {
     #[test]
     fn window_defaults_to_one_and_is_clamped() {
         let p = StackParams::fault_free(3);
-        assert_eq!(p.window, 1);
-        assert_eq!(p.with_window(8).window, 8);
-        assert_eq!(p.with_window(0).window, 1, "window 0 makes no progress; clamp");
+        assert_eq!((p.pipeline.w_min, p.pipeline.w_max), (1, 1));
+        assert!(!p.pipeline.is_adaptive());
+        assert_eq!(p.with_window(8).pipeline.w_max, 8);
+        assert_eq!(p.with_window(0).pipeline.w_min, 1, "window 0 makes no progress; clamp");
         let node = indirect_ct(ProcessId::new(0), &p.with_window(4));
         assert_eq!(node.window(), 4);
+        assert!(!node.is_adaptive_window());
+    }
+
+    #[test]
+    fn adaptive_params_arm_the_controller() {
+        let p = StackParams::fault_free(3)
+            .with_adaptive_window(2, 16)
+            .with_latency_target(Duration::from_millis(4))
+            .with_backlog_limit(256)
+            .with_proposal_cap(32);
+        assert!(p.pipeline.is_adaptive());
+        assert_eq!(p.pipeline.latency_target, Duration::from_millis(4));
+        assert_eq!(p.pipeline.backlog_limit, 256);
+        assert_eq!(p.pipeline.max_proposal_ids, 32);
+        let node = indirect_ct(ProcessId::new(0), &p);
+        assert!(node.is_adaptive_window());
+        assert_eq!(node.window_bounds(), (2, 16));
+        assert_eq!(node.window(), 2, "adaptive windows start at w_min");
+        // Degenerate bounds clamp: max < min collapses to static-at-min,
+        // and a zero cap still lets one id through per instance.
+        let q = StackParams::fault_free(3).with_adaptive_window(0, 0).with_proposal_cap(0);
+        assert_eq!((q.pipeline.w_min, q.pipeline.w_max), (1, 1));
+        assert_eq!(q.pipeline.max_proposal_ids, 1);
     }
 
     #[test]

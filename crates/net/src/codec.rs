@@ -80,6 +80,12 @@ impl FrameBuffer {
         self.poisoned
     }
 
+    /// Bytes buffered but not yet consumed by a decoded frame (0 after
+    /// poisoning — the buffer is discarded). For metrics and tests.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
     fn poison(&mut self, reason: &str) -> io::Error {
         self.poisoned = true;
         self.buf = Vec::new();
@@ -193,5 +199,131 @@ mod tests {
     fn truncated_read_errors() {
         let mut cursor = io::Cursor::new(vec![4u8, 0, 0, 0, 1, 2]); // body cut short
         assert!(read_frame::<u32, _>(&mut cursor).is_err());
+    }
+
+    /// A test value that decodes from a body of *any* length, including
+    /// zero, by consuming every remaining byte.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob(Vec<u8>);
+
+    impl iabc_types::WireSize for Blob {
+        fn wire_size(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    impl Encode for Blob {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.0);
+        }
+    }
+
+    impl Decode for Blob {
+        fn decode(buf: &mut &[u8]) -> Result<Self, iabc_types::CodecError> {
+            let v = Blob(buf.to_vec());
+            *buf = &[];
+            Ok(v)
+        }
+    }
+
+    #[test]
+    fn zero_length_frame_is_a_complete_frame() {
+        // `[0, 0, 0, 0]` is a whole frame with an empty body — it must
+        // decode (for a type that accepts an empty body), not stall
+        // waiting for more bytes.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&0u32.to_le_bytes());
+        assert_eq!(fb.next_frame::<Blob>().unwrap(), Some(Blob(Vec::new())));
+        assert_eq!(fb.pending_bytes(), 0);
+        assert!(!fb.is_poisoned());
+        // For a type that *cannot* decode from an empty body, the frame is
+        // malformed and poisons the buffer — it must not be skipped
+        // silently or retried forever.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&0u32.to_le_bytes());
+        assert!(fb.next_frame::<u64>().is_err());
+        assert!(fb.is_poisoned());
+    }
+
+    #[test]
+    fn maximum_length_frame_roundtrips_and_one_more_byte_poisons() {
+        // Exactly MAX_FRAME is legal...
+        let body = vec![0xA5u8; MAX_FRAME];
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(MAX_FRAME as u32).to_le_bytes());
+        fb.extend(&body);
+        let got = fb.next_frame::<Blob>().unwrap().expect("complete frame");
+        assert_eq!(got.0.len(), MAX_FRAME);
+        assert_eq!(got.0, body);
+        assert_eq!(fb.pending_bytes(), 0);
+        // ...one byte more is rejected on the *length prefix alone*,
+        // before any body bytes arrive.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&((MAX_FRAME + 1) as u32).to_le_bytes());
+        assert!(fb.next_frame::<Blob>().is_err());
+        assert!(fb.is_poisoned());
+    }
+
+    #[test]
+    fn length_prefix_split_across_extends_is_reassembled() {
+        let mut wire = Vec::new();
+        write_frame(&0xFEED_FACE_CAFE_BEEFu64, &mut wire).unwrap();
+        let mut fb = FrameBuffer::new();
+        // Two bytes of the 4-byte length prefix...
+        fb.extend(&wire[..2]);
+        assert_eq!(fb.next_frame::<u64>().unwrap(), None);
+        assert_eq!(fb.pending_bytes(), 2);
+        // ...the other two arrive in a later read, plus the body.
+        fb.extend(&wire[2..4]);
+        assert_eq!(fb.next_frame::<u64>().unwrap(), None, "prefix alone is not a frame");
+        fb.extend(&wire[4..]);
+        assert_eq!(fb.next_frame::<u64>().unwrap(), Some(0xFEED_FACE_CAFE_BEEF));
+    }
+
+    #[test]
+    fn compaction_after_a_large_consumed_prefix_preserves_framing() {
+        // Push the consumed cursor well past the 4096-byte compaction
+        // threshold, leaving a partial frame at the tail, and verify the
+        // memmove did not corrupt it.
+        let mut fb = FrameBuffer::new();
+        let mut expected = Vec::new();
+        for i in 0..800u64 {
+            let mut wire = Vec::new();
+            write_frame(&i, &mut wire).unwrap();
+            fb.extend(&wire);
+            expected.push(i);
+        }
+        // A trailing partial frame: length prefix now, body later.
+        let mut tail = Vec::new();
+        write_frame(&0xDEAD_BEEFu64, &mut tail).unwrap();
+        fb.extend(&tail[..6]);
+        let mut got = Vec::new();
+        while let Some(v) = fb.next_frame::<u64>().unwrap() {
+            got.push(v);
+        }
+        assert_eq!(got, expected, "compaction corrupted decoded frames");
+        assert_eq!(fb.pending_bytes(), 6, "partial tail must survive compaction");
+        fb.extend(&tail[6..]);
+        assert_eq!(fb.next_frame::<u64>().unwrap(), Some(0xDEAD_BEEF));
+        assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn poisoned_buffer_stays_poisoned_across_further_extends() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(u32::MAX).to_le_bytes());
+        assert!(fb.next_frame::<u64>().is_err());
+        assert!(fb.is_poisoned());
+        // Every further extend is discarded, never buffered, and the
+        // buffer keeps failing fast no matter how much well-formed data
+        // arrives.
+        for round in 0..3 {
+            let mut wire = Vec::new();
+            write_frame(&(round as u64), &mut wire).unwrap();
+            fb.extend(&wire);
+            assert_eq!(fb.pending_bytes(), 0, "poisoned buffer must not accumulate bytes");
+            assert!(fb.next_frame::<u64>().is_err());
+            assert!(fb.is_poisoned());
+        }
     }
 }

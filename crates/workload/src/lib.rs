@@ -16,5 +16,7 @@ pub mod runner;
 pub mod stats;
 
 pub use gen::{arrival_schedule, batched_schedule, ArrivalKind};
-pub use runner::{run_abcast_experiment, run_variant, ExperimentResult, WorkloadSpec};
+pub use runner::{
+    run_abcast_experiment, run_variant, ExperimentResult, WorkloadSpec, CI_SMOKE_SEED,
+};
 pub use stats::LatencyStats;

@@ -1,11 +1,19 @@
 //! The experiment runner: one stack, one load point, one latency number.
 
 use iabc_core::stacks::{self, StackParams};
-use iabc_core::{AbcastCommand, AbcastEvent, ConsensusFamily, CostModel, RbKind, VariantKind};
+use iabc_core::{
+    AbcastCommand, AbcastEvent, ConsensusFamily, CostModel, PipelineProbe, RbKind, VariantKind,
+};
 use iabc_core::stacks::FdKind;
 use iabc_runtime::Node;
 use iabc_sim::{NetworkParams, SimBuilder, StopReason};
 use iabc_types::{Duration, Payload, ProcessId, Time};
+
+/// The RNG seed pinned for CI smoke benchmarks: artifacts produced on
+/// different runs (and machines) are byte-comparable only if the workload
+/// schedule is identical, so the smoke configurations must all thread this
+/// seed through [`WorkloadSpec::with_seed`].
+pub const CI_SMOKE_SEED: u64 = 0xABCD_2006;
 
 use crate::gen::{batched_schedule, ArrivalKind};
 use crate::stats::LatencyStats;
@@ -35,8 +43,22 @@ pub struct WorkloadSpec {
     /// workload).
     pub batch: usize,
     /// Pipeline window `W` handed to the stack (consensus instances in
-    /// flight per node). `1` = Algorithm 1 verbatim.
+    /// flight per node). `1` = Algorithm 1 verbatim. Ignored when
+    /// `adaptive_window` is set.
     pub window: usize,
+    /// When set, the stack runs the AIMD window controller with these
+    /// `(w_min, w_max)` bounds instead of the static `window`.
+    pub adaptive_window: Option<(usize, usize)>,
+    /// Decision-latency target for the adaptive controller (`None` keeps
+    /// the stack default).
+    pub latency_target: Option<Duration>,
+    /// Backlog limit for the adaptive controller (`None` keeps the stack
+    /// default).
+    pub backlog_limit: Option<usize>,
+    /// Server-side proposal cap (`usize::MAX` = uncapped): at most this
+    /// many identifiers per consensus proposal, the rest spilling to the
+    /// next instance.
+    pub max_proposal_ids: usize,
 }
 
 impl WorkloadSpec {
@@ -50,18 +72,57 @@ impl WorkloadSpec {
             duration,
             warmup: Duration::from_secs(1),
             drain: Duration::from_secs(2),
-            seed: 0xABCD_2006,
+            seed: CI_SMOKE_SEED,
             arrivals: ArrivalKind::Poisson,
             batch: 1,
             window: 1,
+            adaptive_window: None,
+            latency_target: None,
+            backlog_limit: None,
+            max_proposal_ids: usize::MAX,
         }
     }
 
     /// Sets the throughput knobs: pipeline window `W` and batch size `B`
-    /// (both clamped to at least 1).
+    /// (both clamped to at least 1). Clears a previously set adaptive
+    /// window — the last pipeline builder wins.
     pub fn with_pipeline(mut self, window: usize, batch: usize) -> Self {
         self.window = window.max(1);
         self.batch = batch.max(1);
+        self.adaptive_window = None;
+        self
+    }
+
+    /// Runs the stack with the AIMD window controller bounded by
+    /// `[min, max]` instead of a static window.
+    pub fn with_adaptive_window(mut self, min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        self.adaptive_window = Some((min, max.max(min)));
+        self
+    }
+
+    /// Caps consensus proposals at `cap` identifiers (clamped to ≥ 1).
+    pub fn with_proposal_cap(mut self, cap: usize) -> Self {
+        self.max_proposal_ids = cap.max(1);
+        self
+    }
+
+    /// Sets the adaptive controller's decision-latency target.
+    pub fn with_latency_target(mut self, target: Duration) -> Self {
+        self.latency_target = Some(target);
+        self
+    }
+
+    /// Sets the adaptive controller's backlog limit.
+    pub fn with_backlog_limit(mut self, limit: usize) -> Self {
+        self.backlog_limit = Some(limit);
+        self
+    }
+
+    /// Pins the workload RNG seed (CI smoke configurations use
+    /// [`CI_SMOKE_SEED`] so artifacts stay comparable run-to-run).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 }
@@ -97,6 +158,16 @@ pub struct ExperimentResult {
     pub window_duration: Duration,
     /// Simulator events processed.
     pub events: u64,
+    /// The pipeline window `W` of process 0 over (virtual) time, recorded
+    /// at every observed change as `(seconds since start, W)` — flat
+    /// `[(t₀, W)]` for static configs, the controller's trajectory for
+    /// adaptive ones. Sampled once per runner slice (500 ms), so
+    /// intra-slice flapping collapses to its endpoints.
+    pub window_trajectory: Vec<(f64, usize)>,
+    /// Process 0's window when the run ended.
+    pub final_window: usize,
+    /// Proposals truncated by the proposal cap, summed over all processes.
+    pub proposal_cap_hits: u64,
 }
 
 impl ExperimentResult {
@@ -130,7 +201,7 @@ pub fn run_abcast_experiment<N>(
     factory: impl FnMut(ProcessId) -> N,
 ) -> ExperimentResult
 where
-    N: Node<Command = AbcastCommand, Output = AbcastEvent>,
+    N: Node<Command = AbcastCommand, Output = AbcastEvent> + PipelineProbe,
 {
     assert!(spec.n >= 1, "need at least one process");
     let mut world = SimBuilder::new(spec.n, net.clone()).build(factory);
@@ -173,6 +244,8 @@ where
     // Run in slices, draining outputs as we go to bound memory.
     let slice = Duration::from_millis(500);
     let mut cursor = Time::ZERO;
+    let mut window_trajectory: Vec<(f64, usize)> =
+        vec![(0.0, world.node(ProcessId::new(0)).current_window())];
     loop {
         cursor = (cursor + slice).max(cursor);
         let target = if cursor > deadline { deadline } else { cursor };
@@ -205,10 +278,18 @@ where
                 }
             }
         }
+        let w = world.node(ProcessId::new(0)).current_window();
+        if window_trajectory.last().is_none_or(|&(_, last)| last != w) {
+            window_trajectory.push((world.now().as_secs_f64(), w));
+        }
         if stop == StopReason::Quiescent || target == deadline {
             break;
         }
     }
+
+    let final_window = world.node(ProcessId::new(0)).current_window();
+    let proposal_cap_hits =
+        ProcessId::all(spec.n).map(|p| world.node(p).capped_proposals()).sum();
 
     let expected_pairs = broadcast_count * spec.n as u64;
     let missing_pairs = expected_pairs.saturating_sub(delivered_pairs);
@@ -226,6 +307,9 @@ where
         saturated,
         window_duration: spec.duration,
         events: world.stats().events,
+        window_trajectory,
+        final_window,
+        proposal_cap_hits,
     }
 }
 
@@ -239,7 +323,25 @@ pub fn run_variant(
     cost: CostModel,
     spec: &WorkloadSpec,
 ) -> ExperimentResult {
-    let params = StackParams { n: spec.n, rb, fd: FdKind::Never, cost, window: spec.window };
+    let mut params = StackParams {
+        n: spec.n,
+        rb,
+        fd: FdKind::Never,
+        cost,
+        pipeline: iabc_core::PipelineConfig::fixed(spec.window),
+    };
+    if let Some((min, max)) = spec.adaptive_window {
+        params = params.with_adaptive_window(min, max);
+    }
+    if let Some(target) = spec.latency_target {
+        params = params.with_latency_target(target);
+    }
+    if let Some(limit) = spec.backlog_limit {
+        params = params.with_backlog_limit(limit);
+    }
+    if spec.max_proposal_ids != usize::MAX {
+        params = params.with_proposal_cap(spec.max_proposal_ids);
+    }
     match (variant, family) {
         (VariantKind::Indirect, ConsensusFamily::Ct) => {
             run_abcast_experiment(net, spec, |p| stacks::indirect_ct(p, &params))
@@ -388,6 +490,60 @@ mod tests {
             assert_eq!(r.missing_pairs, 0, "W={window} lost deliveries");
             assert!(!r.saturated);
         }
+    }
+
+    #[test]
+    fn adaptive_window_still_delivers_everything_and_records_trajectory() {
+        let spec = quick_spec(3, 300.0, 16).with_adaptive_window(1, 16).with_proposal_cap(8);
+        let r = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &NetworkParams::setup1(),
+            CostModel::setup1(),
+            &spec,
+        );
+        assert_eq!(r.missing_pairs, 0, "adaptive run lost deliveries");
+        assert!(!r.window_trajectory.is_empty());
+        assert!(
+            r.window_trajectory.iter().all(|&(_, w)| (1..=16).contains(&w)),
+            "trajectory out of bounds: {:?}",
+            r.window_trajectory
+        );
+        assert!((1..=16).contains(&r.final_window));
+    }
+
+    #[test]
+    fn static_runs_report_a_flat_trajectory_and_no_cap_hits() {
+        let spec = quick_spec(3, 100.0, 8).with_pipeline(4, 1);
+        let r = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &NetworkParams::setup1(),
+            CostModel::zero(),
+            &spec,
+        );
+        assert_eq!(r.window_trajectory, vec![(0.0, 4)], "static W must never move");
+        assert_eq!(r.final_window, 4);
+        assert_eq!(r.proposal_cap_hits, 0, "uncapped run must not report cap hits");
+    }
+
+    #[test]
+    fn proposal_cap_spill_conserves_deliveries() {
+        // A tight cap forces spills at this rate; nothing may be lost and
+        // the cap hits must be visible to the harness.
+        let spec = quick_spec(3, 400.0, 8).with_pipeline(1, 1).with_proposal_cap(2);
+        let r = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &NetworkParams::setup1(),
+            CostModel::zero(),
+            &spec,
+        );
+        assert_eq!(r.missing_pairs, 0, "spill path lost deliveries");
+        assert!(r.proposal_cap_hits > 0, "cap never engaged at 400 msg/s with cap 2");
     }
 
     #[test]

@@ -18,10 +18,13 @@
 //!   sans-io protocol code;
 //! * a benchmark harness regenerating every figure of the paper's
 //!   evaluation;
-//! * two throughput knobs the paper never measured — a pipelined
-//!   consensus window (`StackParams::with_window`) and client-side
-//!   proposal batching (`WorkloadSpec::with_pipeline`) — plus the
-//!   `pipeline_sweep` bench that maps the `W × B` goodput surface.
+//! * throughput knobs the paper never measured — a pipelined consensus
+//!   window (`StackParams::with_window`), an AIMD adaptive window
+//!   controller with server-side proposal capping
+//!   (`StackParams::with_adaptive_window` / `with_proposal_cap`), and
+//!   client-side proposal batching (`WorkloadSpec::with_pipeline`) —
+//!   plus the `pipeline_sweep` bench that maps the `W × B` goodput
+//!   surface with an adaptive row.
 //!
 //! ## Quickstart
 //!
@@ -73,8 +76,8 @@ pub use iabc_workload as workload;
 pub mod prelude {
     pub use iabc_core::stacks::{self, FdKind, StackParams};
     pub use iabc_core::{
-        AbcastChecker, AbcastCommand, AbcastEvent, ConsensusFamily, CostModel, RbKind,
-        VariantKind, Violation,
+        AbcastChecker, AbcastCommand, AbcastEvent, ConsensusFamily, CostModel, PipelineConfig,
+        RbKind, VariantKind, Violation,
     };
     pub use iabc_net::{TcpCluster, ThreadCluster};
     pub use iabc_sim::{CrashSchedule, FaultPlan, NetworkParams, SimBuilder, SimWorld, StopReason};

@@ -81,6 +81,105 @@ fn pipelined_indirect_ct_survives_one_crash_of_three() {
 }
 
 #[test]
+fn adaptive_indirect_ct_survives_a_crash_mid_adaptation() {
+    // A bursty schedule makes the adaptive windows move, and the crash
+    // lands while the processes' windows can legitimately differ (the
+    // controller is per-node). Survivors must still agree on the
+    // delivered prefix — the window is a scheduling knob, never a safety
+    // one.
+    let params = hb(3)
+        .with_adaptive_window(1, 16)
+        .with_proposal_cap(2)
+        .with_latency_target(Duration::from_millis(2));
+    let mut world = SimBuilder::new(3, NetworkParams::setup1())
+        .faults(FaultPlan::with_crashes(
+            // 10 ms: mid-burst, with instances in flight on every node.
+            CrashSchedule::new().crash(ProcessId::new(1), Time::ZERO + Duration::from_millis(10)),
+        ))
+        .build(|p| stacks::indirect_ct(p, &params));
+    for i in 0..60u64 {
+        world.schedule_command(
+            ProcessId::new((i % 3) as u16),
+            Time::ZERO + Duration::from_micros(300 * i + 1_000),
+            AbcastCommand::Broadcast(Payload::zeroed(16)),
+        );
+    }
+    world.run_until(Time::ZERO + Duration::from_millis(9));
+    // The burst must have pushed at least one controller off its floor
+    // before the crash, or this test exercises nothing adaptive.
+    let adapted = (0..3).any(|p| {
+        let node = world.node(ProcessId::new(p));
+        node.window() > 1 || node.window_adaptations().0 > 0
+    });
+    assert!(adapted, "no window adaptation happened before the crash");
+    world.run_until(Time::ZERO + Duration::from_secs(10));
+
+    let mut checker = AbcastChecker::new(3);
+    for rec in world.outputs() {
+        checker.record(rec.process, &rec.output);
+    }
+    let violations = checker.check_complete(&[false, true, false]);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    let seq0 = &checker.sequences()[0];
+    let seq2 = &checker.sequences()[2];
+    assert_eq!(seq0, seq2, "survivors disagree after a mid-adaptation crash");
+    assert!(seq0.len() >= 30, "survivors stalled: only {} deliveries", seq0.len());
+}
+
+#[test]
+fn capped_proposal_remainder_survives_the_proposers_crash() {
+    // Spill path under a crash: p0 broadcasts a burst far larger than its
+    // proposal cap, proposes the first capped chunk, and dies. The
+    // remainder it spilled must be decided by *other* nodes' instances —
+    // p0 is gone, so any delivery of the later ids proves a different
+    // proposer picked up the spill.
+    let burst = 40u64;
+    let params = hb(3).with_window(1).with_proposal_cap(2);
+    let mut world = SimBuilder::new(3, NetworkParams::setup1())
+        .faults(FaultPlan::with_crashes(
+            // 20 ms: the burst is fully R-broadcast (sub-millisecond at 16
+            // B payloads) and p0 has proposed its first capped instances,
+            // but with cap 2 the vast majority of the burst is still
+            // unordered spill.
+            CrashSchedule::new().crash(ProcessId::new(0), Time::ZERO + Duration::from_millis(20)),
+        ))
+        .build(|p| stacks::indirect_ct(p, &params));
+    for i in 0..burst {
+        world.schedule_command(
+            ProcessId::new(0),
+            Time::ZERO + Duration::from_micros(100 * i),
+            AbcastCommand::Broadcast(Payload::zeroed(16)),
+        );
+    }
+    world.run_until(Time::ZERO + Duration::from_millis(19));
+    assert!(
+        world.node(ProcessId::new(0)).proposal_cap_hits() > 0,
+        "p0 never hit its proposal cap before crashing"
+    );
+    let ordered_before_crash = world.node(ProcessId::new(1)).delivered_count();
+    assert!(
+        ordered_before_crash < burst,
+        "burst fully ordered before the crash; the spill path is not exercised"
+    );
+    world.run_until(Time::ZERO + Duration::from_secs(10));
+
+    let mut checker = AbcastChecker::new(3);
+    for rec in world.outputs() {
+        checker.record(rec.process, &rec.output);
+    }
+    let violations = checker.check_complete(&[true, false, false]);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    let seq1 = &checker.sequences()[1];
+    let seq2 = &checker.sequences()[2];
+    assert_eq!(seq1, seq2, "survivors disagree on the spilled remainder");
+    assert_eq!(
+        seq1.len() as u64,
+        burst,
+        "the spilled remainder must be decided by the surviving nodes' instances"
+    );
+}
+
+#[test]
 fn indirect_ct_survives_two_crashes_of_five() {
     let params = hb(5);
     let (checker, crashed) =
