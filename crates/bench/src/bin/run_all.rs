@@ -10,8 +10,17 @@ use std::process::Command;
 use std::time::Instant;
 
 fn main() {
-    let bins =
-        ["fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation_rcv", "pipeline_sweep"];
+    let bins = [
+        "fig1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "ablation_rcv",
+        "pipeline_sweep",
+        "priority_sweep",
+    ];
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("bin directory").to_path_buf();
     let mut records = Vec::new();

@@ -255,6 +255,32 @@ pub fn pipeline_sweep_spec(
     spec
 }
 
+/// The workload spec behind every `priority_sweep` grid point: the
+/// adaptive AIMD window in `[1, 16]` at batch 1 — the `pipeline_sweep`
+/// adaptive row — but with a tighter proposal cap of 64 ids, and the
+/// two-class priority lane toggled per row. Seed pinned like every CI
+/// smoke artifact.
+///
+/// The cap is deliberately smaller than the single-class row's 512: with
+/// the lane on, ordering decides faster than bulk drains, so the backlog
+/// is structurally deeper, and small oldest-first slices keep every
+/// proposal cheap to `rcv()`-check *and* composed of ids whose payloads
+/// have already flooded — large slices reach into fresh ids whose Data
+/// frames the proposal would overtake, burning rounds on nacks. Both
+/// lanes run the same cap so the on/off comparison is controlled.
+pub fn priority_sweep_spec(
+    n: usize,
+    offered: f64,
+    payload: usize,
+    duration: Duration,
+    lane: bool,
+) -> WorkloadSpec {
+    pipeline_sweep_spec(n, offered, payload, duration, 1, 1)
+        .with_adaptive_window(1, 16)
+        .with_proposal_cap(64)
+        .with_priority_lane(lane)
+}
+
 pub mod trend;
 
 /// The standard stack selections used across figures.

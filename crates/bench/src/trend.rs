@@ -1,14 +1,18 @@
 //! Bench-trend comparison: the CI goodput-regression gate.
 //!
-//! `pipeline_sweep` writes `results/BENCH_pipeline_sweep.json` with one
-//! grid point per line. CI snapshots the *committed* copy as the baseline,
-//! reruns the smoke sweep, and runs the `bench_trend` binary over the two
-//! files: any common grid point whose fresh goodput dropped by more than
-//! the allowed fraction fails the job. Points are matched by
-//! `(mode, window, batch)`; baseline rows below [`MIN_COMPARABLE_GOODPUT`]
-//! are skipped — those are the deliberately collapsed corners of the grid
-//! (e.g. static `W=16, B=1` at the saturation knee) whose tiny residual
-//! goodput is chaotic rather than meaningful.
+//! `pipeline_sweep` writes `results/BENCH_pipeline_sweep.json` and
+//! `priority_sweep` writes `results/BENCH_priority_sweep.json`, each with
+//! one grid point per line. CI snapshots the *committed* copies as
+//! baselines, reruns the smoke sweeps, and runs the `bench_trend` binary
+//! over each pair of files: any common grid point whose fresh goodput
+//! dropped by more than the allowed fraction fails the job. Points are
+//! matched by `(mode, window, batch, offered)` — `offered` distinguishes
+//! the load axis the priority sweep varies; artifacts that fix it (the
+//! pipeline sweep) carry it as a constant on both sides. Baseline rows
+//! below [`MIN_COMPARABLE_GOODPUT`] are skipped — those are the
+//! deliberately collapsed corners of the grid (e.g. static `W=16, B=1`,
+//! or the lane-off rows past the knee) whose tiny residual goodput is
+//! chaotic rather than meaningful.
 //!
 //! The parser is deliberately tiny and format-coupled: it reads the
 //! line-per-point layout `write_json` in `pipeline_sweep` emits (and that
@@ -30,6 +34,8 @@ pub struct TrendPoint {
     pub window: usize,
     /// Client batch size `B`.
     pub batch: usize,
+    /// Offered load, payloads/second (0 in artifacts predating the field).
+    pub offered_per_sec: f64,
     /// Sustained goodput, payloads/second/process.
     pub delivered_per_sec: f64,
     /// Whether the run failed to drain ≥ 2% of expected deliveries.
@@ -37,9 +43,11 @@ pub struct TrendPoint {
 }
 
 impl TrendPoint {
-    /// The identity a point is matched on across artifacts.
-    pub fn key(&self) -> (String, usize, usize) {
-        (self.mode.clone(), self.window, self.batch)
+    /// The identity a point is matched on across artifacts (offered load
+    /// is rounded to a whole payload/s — it is a grid constant, not a
+    /// measurement).
+    pub fn key(&self) -> (String, usize, usize, u64) {
+        (self.mode.clone(), self.window, self.batch, self.offered_per_sec.round() as u64)
     }
 }
 
@@ -65,11 +73,19 @@ pub fn parse_points(json: &str) -> Vec<TrendPoint> {
             let window = num_field(line, "window")? as usize;
             let batch = num_field(line, "batch")? as usize;
             let delivered = num_field(line, "delivered_per_sec")?;
+            let offered = num_field(line, "offered_per_sec").unwrap_or(0.0);
             let mode = raw_field(line, "mode")
                 .map(|m| m.trim_matches('"').to_string())
                 .unwrap_or_else(|| "static".to_string());
             let saturated = raw_field(line, "saturated").is_some_and(|s| s == "true");
-            Some(TrendPoint { mode, window, batch, delivered_per_sec: delivered, saturated })
+            Some(TrendPoint {
+                mode,
+                window,
+                batch,
+                offered_per_sec: offered,
+                delivered_per_sec: delivered,
+                saturated,
+            })
         })
         .collect()
 }
@@ -101,7 +117,13 @@ pub fn compare(
     let mut report =
         TrendReport { compared: Vec::new(), regressions: Vec::new(), unmatched: Vec::new() };
     for f in fresh {
-        let label = format!("{} W={} B={}", f.mode, f.window, f.batch);
+        let label = format!(
+            "{} W={} B={} offered={}",
+            f.mode,
+            f.window,
+            f.batch,
+            f.offered_per_sec.round()
+        );
         let Some(b) = baseline.iter().find(|b| b.key() == f.key()) else {
             report.unmatched.push(format!(
                 "{label}: no matching baseline point — regenerate the committed baseline \
@@ -139,10 +161,21 @@ mod tests {
     use super::*;
 
     fn point(mode: &str, window: usize, batch: usize, delivered: f64) -> TrendPoint {
+        point_at(mode, window, batch, 4000.0, delivered)
+    }
+
+    fn point_at(
+        mode: &str,
+        window: usize,
+        batch: usize,
+        offered: f64,
+        delivered: f64,
+    ) -> TrendPoint {
         TrendPoint {
             mode: mode.into(),
             window,
             batch,
+            offered_per_sec: offered,
             delivered_per_sec: delivered,
             saturated: false,
         }
@@ -162,7 +195,7 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0], point("static", 1, 16, 3976.0));
         assert!(pts[1].saturated);
-        assert_eq!(pts[1].key(), ("adaptive".to_string(), 16, 1));
+        assert_eq!(pts[1].key(), ("adaptive".to_string(), 16, 1, 4000));
     }
 
     #[test]
@@ -173,6 +206,26 @@ mod tests {
         let pts = parse_points(old);
         assert_eq!(pts.len(), 1);
         assert_eq!(pts[0].mode, "static");
+    }
+
+    #[test]
+    fn priority_sweep_rows_key_on_offered_load() {
+        // The priority sweep varies offered load with constant
+        // (mode, window, batch): rows at different loads must never
+        // cross-match, and same-load rows must.
+        let json = r#"
+    {"mode": "lane_on", "window": 16, "w_min": 1, "batch": 1, "offered_per_sec": 2000.0, "delivered_per_sec": 688.5, "mean_ms": 1326.521, "decision_ms": 400.488, "missing_pairs": 0, "saturated": false, "final_window": 2, "cap_hits": 282},
+    {"mode": "lane_on", "window": 16, "w_min": 1, "batch": 1, "offered_per_sec": 4000.0, "delivered_per_sec": 614.3, "mean_ms": 2420.725, "decision_ms": 445.787, "missing_pairs": 7881, "saturated": true, "final_window": 16, "cap_hits": 531}"#;
+        let baseline = parse_points(json);
+        assert_eq!(baseline.len(), 2);
+        assert_ne!(baseline[0].key(), baseline[1].key());
+        // A fresh smoke run carrying only the knee row matches exactly one
+        // baseline row and regresses against it alone.
+        let fresh = vec![point_at("lane_on", 16, 1, 4000.0, 400.0)];
+        let report = compare(&baseline, &fresh, 0.20);
+        assert!(report.unmatched.is_empty());
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].contains("offered=4000"), "{}", report.regressions[0]);
     }
 
     #[test]

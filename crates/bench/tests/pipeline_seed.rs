@@ -3,7 +3,7 @@
 //! artifacts CI archives (and the bench-trend gate diffs) are comparable
 //! across pushes and machines.
 
-use iabc_bench::pipeline_sweep_spec;
+use iabc_bench::{pipeline_sweep_spec, priority_sweep_spec};
 use iabc_types::Duration;
 use iabc_workload::{batched_schedule, CI_SMOKE_SEED};
 use iabc_types::ProcessId;
@@ -15,6 +15,24 @@ fn sweep_specs_pin_the_ci_smoke_seed() {
         assert_eq!(spec.seed, CI_SMOKE_SEED, "smoke row W={w},B={b} must pin the seed");
         assert_eq!((spec.window, spec.batch), (w, b));
     }
+}
+
+#[test]
+fn priority_sweep_specs_pin_the_seed_and_differ_only_in_the_lane() {
+    let off = priority_sweep_spec(3, 4000.0, 64, Duration::from_secs(2), false);
+    let on = priority_sweep_spec(3, 4000.0, 64, Duration::from_secs(2), true);
+    assert_eq!(off.seed, CI_SMOKE_SEED);
+    assert_eq!(on.seed, CI_SMOKE_SEED);
+    assert!(!off.priority_lane);
+    assert!(on.priority_lane);
+    // Identical except the lane toggle: the on/off rows are a controlled
+    // comparison over the same workload schedule.
+    let mut on_without_lane = on.clone();
+    on_without_lane.priority_lane = false;
+    assert_eq!(off, on_without_lane);
+    assert_eq!(off.adaptive_window, Some((1, 16)));
+    assert_eq!(off.max_proposal_ids, 64);
+    assert_eq!(off.batch, 1, "the priority sweep lives at the B=1 knee");
 }
 
 #[test]

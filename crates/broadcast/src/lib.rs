@@ -29,7 +29,7 @@ pub mod urb;
 
 use std::fmt;
 
-use iabc_types::{AppMessage, CodecError, Decode, Encode, ProcessId, WireSize};
+use iabc_types::{AppMessage, CodecError, Decode, Encode, ProcessId, TrafficClass, WireSize};
 
 pub use eager::EagerRb;
 pub use lazy::LazyRb;
@@ -80,6 +80,12 @@ impl BcastMsg {
 impl WireSize for BcastMsg {
     fn wire_size(&self) -> usize {
         1 + self.app_message().wire_size()
+    }
+
+    fn traffic_class(&self) -> TrafficClass {
+        // Every variant carries a full application message: this layer is
+        // the payload flood the priority lane drains *behind* consensus.
+        TrafficClass::Bulk
     }
 }
 

@@ -1,6 +1,6 @@
 //! Wire messages of the consensus layer.
 
-use iabc_types::{CodecError, Decode, Encode, ProcessId, WireSize};
+use iabc_types::{CodecError, Decode, Encode, ProcessId, TrafficClass, WireSize};
 
 /// Destination of a consensus message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +111,15 @@ impl<V: WireSize> WireSize for ConsMsg<V> {
             ConsMsg::MrPhase2 { est, .. } => 8 + est.wire_size(),
             ConsMsg::Decide { value } => value.wire_size(),
         }
+    }
+
+    fn traffic_class(&self) -> TrafficClass {
+        // Consensus frames are the ordering traffic the priority lane
+        // exists for. Note this covers the *direct* stacks too, whose
+        // estimates embed whole message sets — there the "ordering" frames
+        // are payload-sized, which is exactly the paper's argument against
+        // consensus on messages.
+        TrafficClass::Ordering
     }
 }
 

@@ -3,7 +3,7 @@
 use iabc_broadcast::BcastMsg;
 use iabc_consensus::ConsMsg;
 use iabc_fd::FdMsg;
-use iabc_types::{CodecError, Decode, Encode, WireSize};
+use iabc_types::{CodecError, Decode, Encode, TrafficClass, WireSize};
 
 /// Everything an atomic broadcast stack puts on the wire: broadcast-layer
 /// frames (carrying payloads), instance-tagged consensus frames, and
@@ -33,6 +33,18 @@ impl<V: WireSize> WireSize for Envelope<V> {
             Envelope::Bcast(m) => m.wire_size(),
             Envelope::Cons { msg, .. } => 8 + msg.wire_size(),
             Envelope::Fd(m) => m.wire_size(),
+        }
+    }
+
+    /// Two-class scheduling: broadcast frames (the payload flood) are
+    /// [`TrafficClass::Bulk`]; consensus and failure-detector frames are
+    /// [`TrafficClass::Ordering`] and may jump the bulk backlog wherever a
+    /// transport runs the priority lane.
+    fn traffic_class(&self) -> TrafficClass {
+        match self {
+            Envelope::Bcast(m) => m.traffic_class(),
+            Envelope::Cons { msg, .. } => msg.traffic_class(),
+            Envelope::Fd(m) => m.traffic_class(),
         }
     }
 }
@@ -113,6 +125,21 @@ mod tests {
         };
         assert!(bcast.wire_size() > 5000);
         assert!(cons.wire_size() < 64);
+    }
+
+    #[test]
+    fn classes_split_ordering_from_bulk() {
+        let bcast: Envelope<IdSet> = Envelope::Bcast(BcastMsg::Data(app_msg()));
+        let relay: Envelope<IdSet> = Envelope::Bcast(BcastMsg::Relay(app_msg()));
+        let cons: Envelope<IdSet> = Envelope::Cons { k: 1, msg: ConsMsg::CtAck { round: 1 } };
+        let decide: Envelope<IdSet> =
+            Envelope::Cons { k: 2, msg: ConsMsg::Decide { value: IdSet::new() } };
+        let fd: Envelope<IdSet> = Envelope::Fd(FdMsg::Heartbeat(9));
+        assert_eq!(bcast.traffic_class(), TrafficClass::Bulk);
+        assert_eq!(relay.traffic_class(), TrafficClass::Bulk);
+        assert_eq!(cons.traffic_class(), TrafficClass::Ordering);
+        assert_eq!(decide.traffic_class(), TrafficClass::Ordering);
+        assert_eq!(fd.traffic_class(), TrafficClass::Ordering);
     }
 
     #[test]

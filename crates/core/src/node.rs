@@ -31,7 +31,26 @@ pub struct PipelineConfig {
     /// Maximum identifiers per proposal; the remainder *spills* to the
     /// next instance. `usize::MAX` = uncapped (the seed behaviour).
     pub max_proposal_ids: usize,
+    /// When `true`, the adaptive controller's latency signal is
+    /// *EWMA-relative*: it halves when a decision's latency worsens past
+    /// [`EWMA_WORSEN_FACTOR`] times the controller's own moving average,
+    /// instead of crossing the absolute `latency_target` — removing the
+    /// one knob operators must otherwise tune per deployment.
+    pub ewma_signal: bool,
 }
+
+/// Smoothing factor of the EWMA latency baseline (weight of the newest
+/// observation).
+pub const EWMA_ALPHA: f64 = 0.2;
+
+/// How much a decision's latency must exceed the EWMA baseline to count as
+/// congestion in [`PipelineConfig::ewma_signal`] mode.
+pub const EWMA_WORSEN_FACTOR: f64 = 2.0;
+
+/// Observations needed before the EWMA baseline is trusted; earlier
+/// decisions only seed it (a cold controller must not halve on its very
+/// first, unavoidably noisy samples).
+const EWMA_WARMUP: u64 = 4;
 
 impl PipelineConfig {
     /// A static window of `w` instances (clamped to at least 1), uncapped
@@ -44,6 +63,7 @@ impl PipelineConfig {
             latency_target: Duration::from_millis(10),
             backlog_limit: 1024,
             max_proposal_ids: usize::MAX,
+            ewma_signal: false,
         }
     }
 
@@ -96,6 +116,10 @@ pub struct WindowController {
     decrease_watermark: u64,
     increases: u64,
     decreases: u64,
+    /// EWMA of observed decision latencies, seconds (EWMA-signal mode).
+    ewma_secs: f64,
+    /// Latency observations folded into the EWMA so far.
+    ewma_obs: u64,
 }
 
 impl WindowController {
@@ -108,6 +132,8 @@ impl WindowController {
             decrease_watermark: 0,
             increases: 0,
             decreases: 0,
+            ewma_secs: 0.0,
+            ewma_obs: 0,
         }
     }
 
@@ -129,6 +155,33 @@ impl WindowController {
     /// `(additive increases, multiplicative decreases)` so far.
     pub fn adaptations(&self) -> (u64, u64) {
         (self.increases, self.decreases)
+    }
+
+    /// The EWMA latency baseline in seconds, once warmed up (EWMA-signal
+    /// mode only; `None` before [`EWMA_WARMUP`] observations).
+    pub fn ewma_latency_secs(&self) -> Option<f64> {
+        (self.cfg.ewma_signal && self.ewma_obs >= EWMA_WARMUP).then_some(self.ewma_secs)
+    }
+
+    /// Whether a decision's latency signals congestion, updating the EWMA
+    /// baseline on the way (every observed latency feeds it, congested or
+    /// not — a halved window must re-earn its baseline, and a slow drift
+    /// upward must not trigger on every sample).
+    fn latency_congested(&mut self, latency: Option<Duration>) -> bool {
+        let Some(l) = latency else { return false };
+        if !self.cfg.ewma_signal {
+            return l > self.cfg.latency_target;
+        }
+        let secs = l.as_secs_f64();
+        let worsened =
+            self.ewma_obs >= EWMA_WARMUP && secs > EWMA_WORSEN_FACTOR * self.ewma_secs;
+        self.ewma_secs = if self.ewma_obs == 0 {
+            secs
+        } else {
+            EWMA_ALPHA * secs + (1.0 - EWMA_ALPHA) * self.ewma_secs
+        };
+        self.ewma_obs += 1;
+        worsened
     }
 
     /// How many capped instances the backlog needs, clamped to the
@@ -180,7 +233,7 @@ impl WindowController {
         // proposal holds any backlog).
         let spill_pressure = self.cfg.max_proposal_ids != usize::MAX
             && backlog > self.cur.saturating_mul(self.cfg.max_proposal_ids);
-        let over_latency = latency.is_some_and(|l| l > self.cfg.latency_target);
+        let over_latency = self.latency_congested(latency);
         if (over_latency || backlog > self.cfg.backlog_limit) && !spill_pressure {
             if k > self.decrease_watermark {
                 // Halve, but never below what the backlog still needs
@@ -386,6 +439,11 @@ pub struct AbcastNode<V: OrderingValue, A: SingleConsensus<V>> {
     /// Sequence number for this process's own broadcasts.
     next_seq: u64,
     delivered_count: u64,
+    /// Sum of observed decision latencies (locally proposed instances,
+    /// propose → apply), for the experiment harness's mean.
+    decision_latency_total: Duration,
+    /// Number of latencies in `decision_latency_total`.
+    decision_latency_count: u64,
 }
 
 impl<V: OrderingValue, A: SingleConsensus<V>> fmt::Debug for AbcastNode<V, A> {
@@ -444,6 +502,8 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             stale_decisions: 0,
             next_seq: 0,
             delivered_count: 0,
+            decision_latency_total: Duration::ZERO,
+            decision_latency_count: 0,
         }
     }
 
@@ -497,6 +557,12 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     /// Proposals truncated by the `max_proposal_ids` cap so far.
     pub fn proposal_cap_hits(&self) -> u64 {
         self.cap_hits
+    }
+
+    /// `(sum, count)` of observed decision latencies (locally proposed
+    /// instances, propose → apply) — the harness's decision-latency metric.
+    pub fn decision_latency_stats(&self) -> (Duration, u64) {
+        (self.decision_latency_total, self.decision_latency_count)
     }
 
     /// Instances proposed locally whose decision has not been applied yet.
@@ -737,6 +803,10 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         // Feed the window controller before proposing again, so the next
         // round of proposals sees the adapted window.
         let latency = self.mgr.decision_latency(k, ctx.now());
+        if let Some(l) = latency {
+            self.decision_latency_total += l;
+            self.decision_latency_count += 1;
+        }
         let backlog = self.backlog_signal();
         self.controller.on_decision(k, self.proposed_hi, latency, backlog, window_was_full);
         // Bound the manager's footprint: old decided instances only serve
@@ -766,6 +836,9 @@ pub trait PipelineProbe {
     fn current_window(&self) -> usize;
     /// Proposals truncated by the proposal cap so far.
     fn capped_proposals(&self) -> u64;
+    /// `(sum, count)` of decision latencies observed so far (propose →
+    /// apply of locally proposed instances).
+    fn decision_latencies(&self) -> (Duration, u64);
 }
 
 impl<V: OrderingValue, A: SingleConsensus<V>> PipelineProbe for AbcastNode<V, A> {
@@ -775,6 +848,10 @@ impl<V: OrderingValue, A: SingleConsensus<V>> PipelineProbe for AbcastNode<V, A>
 
     fn capped_proposals(&self) -> u64 {
         self.proposal_cap_hits()
+    }
+
+    fn decision_latencies(&self) -> (Duration, u64) {
+        self.decision_latency_stats()
     }
 }
 
@@ -1156,6 +1233,90 @@ mod tests {
         // wants more concurrency, not less.
         ctrl.on_decision(41, 60, Some(Duration::from_secs(1)), 100_000, true);
         assert_eq!(ctrl.current(), 16, "spill pressure must override halving");
+    }
+
+    #[test]
+    fn ewma_signal_halves_on_relative_worsening_not_absolute_target() {
+        let mut cfg = PipelineConfig::adaptive(1, 16);
+        // An absurd absolute target that would never fire: the EWMA signal
+        // must not consult it.
+        cfg.latency_target = Duration::from_secs(3600);
+        cfg.ewma_signal = true;
+        let mut ctrl = WindowController::new(cfg);
+        assert!(ctrl.ewma_latency_secs().is_none(), "cold controller has no baseline");
+        // A steady 1 ms baseline, long enough to warm up and grow.
+        let steady = Some(Duration::from_millis(1));
+        for k in 1..100u64 {
+            ctrl.on_decision(k, k, steady, 5, true);
+        }
+        let grown = ctrl.current();
+        assert!(grown > 1, "healthy EWMA runs must still grow additively");
+        let baseline = ctrl.ewma_latency_secs().expect("warmed up");
+        assert!((baseline - 0.001).abs() < 1e-4, "baseline ~1 ms, got {baseline}");
+        // 1.5× the baseline: worse, but under the worsen factor — no halve.
+        ctrl.on_decision(100, 120, Some(Duration::from_micros(1500)), 5, true);
+        assert_eq!(ctrl.current(), grown);
+        // 10× the baseline: congestion, despite the huge absolute target.
+        ctrl.on_decision(101, 120, Some(Duration::from_millis(10)), 5, true);
+        assert_eq!(ctrl.current(), grown / 2, "EWMA worsening must halve");
+        assert!(ctrl.adaptations().1 >= 1);
+    }
+
+    #[test]
+    fn ewma_baseline_adapts_so_a_slow_regime_stops_halving() {
+        let mut cfg = PipelineConfig::adaptive(1, 16);
+        cfg.latency_target = Duration::from_secs(3600);
+        cfg.ewma_signal = true;
+        let mut ctrl = WindowController::new(cfg);
+        let fast = Some(Duration::from_millis(1));
+        for k in 1..50u64 {
+            ctrl.on_decision(k, k, fast, 5, true);
+        }
+        // The deployment moves to a legitimately slower regime (e.g. a
+        // bigger cluster): after the decrease-damping watermark passes,
+        // the baseline absorbs the new latency and growth resumes —
+        // that is the point of a relative signal.
+        let slow = Some(Duration::from_millis(20));
+        for k in 50..300u64 {
+            ctrl.on_decision(k, k, slow, 5, true);
+        }
+        let baseline = ctrl.ewma_latency_secs().expect("warmed up");
+        assert!((baseline - 0.020).abs() < 1e-3, "baseline must track the regime");
+        assert_eq!(ctrl.current(), 16, "steady (if slow) latency must allow regrowth");
+    }
+
+    #[test]
+    fn ewma_mode_keeps_the_backlog_signal_and_bounds() {
+        let mut cfg = PipelineConfig::adaptive(1, 8);
+        cfg.ewma_signal = true;
+        let mut ctrl = WindowController::new(cfg);
+        let fast = Some(Duration::from_millis(1));
+        for k in 1..100u64 {
+            ctrl.on_decision(k, k, fast, 5, true);
+        }
+        assert_eq!(ctrl.current(), 8);
+        // Backlog over the limit still halves, EWMA or not.
+        ctrl.on_decision(100, 120, fast, cfg.backlog_limit + 1, true);
+        assert_eq!(ctrl.current(), 4);
+        // And the window can never escape its bounds.
+        for k in 121..400u64 {
+            ctrl.on_decision(k, 400, Some(Duration::from_secs(60)), 0, true);
+            assert!((1..=8).contains(&ctrl.current()));
+        }
+    }
+
+    #[test]
+    fn node_accumulates_decision_latency_stats() {
+        let mut node = test_node(1);
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        c.set_now(Time::ZERO + Duration::from_millis(4));
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        let (sum, count) = node.decision_latency_stats();
+        assert_eq!(count, 1);
+        assert_eq!(sum, Duration::from_millis(4));
+        let (psum, pcount) = PipelineProbe::decision_latencies(&node);
+        assert_eq!((psum, pcount), (sum, count));
     }
 
     #[test]

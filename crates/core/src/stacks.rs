@@ -74,6 +74,19 @@ pub struct StackParams {
     /// paper-figure bins measure), the adaptive controller's thresholds,
     /// and the server-side proposal cap.
     pub pipeline: PipelineConfig,
+    /// Whether the host transport should run the two-class priority lane
+    /// (ordering frames served ahead of bulk payload traffic). `false` —
+    /// the default everywhere — keeps the single-class FIFO model the
+    /// paper-figure bins measure, bit-for-bit.
+    ///
+    /// ⚠ The lane lives in the *executor*, not the node: this field is the
+    /// stack's record of the intended host model, and whoever builds the
+    /// world must thread it through (the simulator:
+    /// `SimBuilder::new(n, net).priority_lane(params.priority_lane)`;
+    /// `iabc_workload::run_variant` does this for every experiment).
+    /// Building a world without threading it silently measures the FIFO
+    /// model.
+    pub priority_lane: bool,
 }
 
 impl StackParams {
@@ -86,6 +99,7 @@ impl StackParams {
             fd: FdKind::Never,
             cost: CostModel::zero(),
             pipeline: PipelineConfig::fixed(1),
+            priority_lane: false,
         }
     }
 
@@ -97,6 +111,7 @@ impl StackParams {
             fd: FdKind::Heartbeat { interval, timeout },
             cost: CostModel::zero(),
             pipeline: PipelineConfig::fixed(1),
+            priority_lane: false,
         }
     }
 
@@ -138,6 +153,39 @@ impl StackParams {
     /// remainder spills to the next consensus instance.
     pub fn with_proposal_cap(mut self, cap: usize) -> Self {
         self.pipeline.max_proposal_ids = cap.max(1);
+        self
+    }
+
+    /// Runs the transport's two-class priority lane: ordering frames
+    /// (consensus, failure detector) are served ahead of queued bulk
+    /// payload traffic on every CPU and NIC. Off by default — the
+    /// paper-figure bins keep the single-class FIFO model bit-for-bit.
+    ///
+    /// The executor must thread the flag into world construction (see
+    /// [`StackParams::priority_lane`]):
+    ///
+    /// ```
+    /// use iabc_core::stacks::{self, StackParams};
+    /// use iabc_sim::{NetworkParams, SimBuilder};
+    ///
+    /// let params = StackParams::fault_free(3).with_priority_lane(true);
+    /// let world = SimBuilder::new(params.n, NetworkParams::setup1())
+    ///     .priority_lane(params.priority_lane) // <- without this, FIFO
+    ///     .build(|p| stacks::indirect_ct(p, &params));
+    /// assert!(world.priority_lane());
+    /// ```
+    pub fn with_priority_lane(mut self, on: bool) -> Self {
+        self.priority_lane = on;
+        self
+    }
+
+    /// Switches the adaptive controller's congestion signal from the
+    /// absolute `latency_target` to an EWMA-relative one: the window
+    /// halves when decision latency worsens past
+    /// [`crate::node::EWMA_WORSEN_FACTOR`]× the controller's own moving
+    /// average, whatever the deployment's baseline latency is.
+    pub fn with_ewma_signal(mut self) -> Self {
+        self.pipeline.ewma_signal = true;
         self
     }
 }
@@ -343,6 +391,19 @@ mod tests {
         let q = StackParams::fault_free(3).with_adaptive_window(0, 0).with_proposal_cap(0);
         assert_eq!((q.pipeline.w_min, q.pipeline.w_max), (1, 1));
         assert_eq!(q.pipeline.max_proposal_ids, 1);
+    }
+
+    #[test]
+    fn priority_lane_and_ewma_toggles() {
+        let p = StackParams::fault_free(3);
+        assert!(!p.priority_lane, "paper bins default to the FIFO model");
+        assert!(!p.pipeline.ewma_signal);
+        let q = p.with_priority_lane(true).with_ewma_signal();
+        assert!(q.priority_lane);
+        assert!(q.pipeline.ewma_signal);
+        // Orthogonal to the rest of the pipeline config.
+        assert_eq!((q.pipeline.w_min, q.pipeline.w_max), (1, 1));
+        let _ = indirect_ct(ProcessId::new(0), &q);
     }
 
     #[test]

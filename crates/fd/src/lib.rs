@@ -24,7 +24,9 @@ pub mod scripted;
 
 use std::fmt;
 
-use iabc_types::{CodecError, Decode, Duration, Encode, ProcessId, ProcessSet, Time, WireSize};
+use iabc_types::{
+    CodecError, Decode, Duration, Encode, ProcessId, ProcessSet, Time, TrafficClass, WireSize,
+};
 
 pub use heartbeat::HeartbeatFd;
 pub use scripted::ScriptedFd;
@@ -57,6 +59,12 @@ pub enum FdMsg {
 impl WireSize for FdMsg {
     fn wire_size(&self) -> usize {
         1 + 8
+    }
+
+    fn traffic_class(&self) -> TrafficClass {
+        // Heartbeats queueing behind a payload flood are exactly how false
+        // suspicions happen under overload: they ride the priority lane.
+        TrafficClass::Ordering
     }
 }
 

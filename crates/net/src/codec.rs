@@ -8,6 +8,31 @@ use iabc_types::{Decode, Encode};
 /// prefixes taking the process down.
 pub const MAX_FRAME: usize = 16 << 20;
 
+/// Appends one `[u32 length][body]` frame to `scratch` without allocating:
+/// the value encodes directly into the buffer and the length prefix is
+/// patched afterwards. Callers that hold the buffer across frames (the TCP
+/// flusher coalescing a whole queue into one `write_all`) amortize the
+/// allocation to zero.
+///
+/// On error the buffer is restored to its previous length, so a poisoned
+/// frame never corrupts the batch around it.
+///
+/// # Errors
+///
+/// Fails if the encoded value exceeds [`MAX_FRAME`].
+pub fn write_frame_into<T: Encode>(value: &T, scratch: &mut Vec<u8>) -> io::Result<()> {
+    let start = scratch.len();
+    scratch.extend_from_slice(&[0u8; 4]);
+    value.encode(scratch);
+    let body_len = scratch.len() - start - 4;
+    if body_len > MAX_FRAME {
+        scratch.truncate(start);
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    scratch[start..start + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    Ok(())
+}
+
 /// Writes one `[u32 length][body]` frame.
 ///
 /// # Errors
@@ -15,12 +40,9 @@ pub const MAX_FRAME: usize = 16 << 20;
 /// Propagates I/O errors from the writer; fails if the encoded value
 /// exceeds [`MAX_FRAME`].
 pub fn write_frame<T: Encode, W: Write>(value: &T, w: &mut W) -> io::Result<()> {
-    let body = value.to_bytes();
-    if body.len() > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
-    }
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(&body)?;
+    let mut buf = Vec::with_capacity(4 + value.wire_size());
+    write_frame_into(value, &mut buf)?;
+    w.write_all(&buf)?;
     w.flush()
 }
 
@@ -131,6 +153,46 @@ impl FrameBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn write_frame_into_reuses_the_scratch_buffer() {
+        let mut scratch = Vec::new();
+        write_frame_into(&1u32, &mut scratch).unwrap();
+        write_frame_into(&2u64, &mut scratch).unwrap();
+        write_frame_into(&3u16, &mut scratch).unwrap();
+        // The coalesced batch decodes frame by frame.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&scratch);
+        assert_eq!(fb.next_frame::<u32>().unwrap(), Some(1));
+        assert_eq!(fb.next_frame::<u64>().unwrap(), Some(2));
+        assert_eq!(fb.next_frame::<u16>().unwrap(), Some(3));
+        assert_eq!(fb.pending_bytes(), 0);
+        // And is byte-identical to three write_frame calls.
+        let mut wire = Vec::new();
+        write_frame(&1u32, &mut wire).unwrap();
+        write_frame(&2u64, &mut wire).unwrap();
+        write_frame(&3u16, &mut wire).unwrap();
+        assert_eq!(scratch, wire);
+        // Reuse after clear: capacity survives, no reallocation needed.
+        let cap = scratch.capacity();
+        scratch.clear();
+        write_frame_into(&9u32, &mut scratch).unwrap();
+        assert_eq!(scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn write_frame_into_restores_the_buffer_on_oversize() {
+        let mut scratch = Vec::new();
+        write_frame_into(&7u32, &mut scratch).unwrap();
+        let good_len = scratch.len();
+        let huge = Blob(vec![0u8; MAX_FRAME + 1]);
+        assert!(write_frame_into(&huge, &mut scratch).is_err());
+        assert_eq!(scratch.len(), good_len, "failed frame must leave no partial bytes");
+        // The surviving prefix still decodes.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&scratch);
+        assert_eq!(fb.next_frame::<u32>().unwrap(), Some(7));
+    }
 
     #[test]
     fn frame_roundtrip_through_cursor() {

@@ -4,46 +4,187 @@
 //! sockets and messages travel through the wire codec — the closest
 //! in-process analogue of the paper's cluster deployment. Reader threads
 //! decode frames and forward them into the node's input channel.
+//!
+//! # The outbound path: queues + a coalescing flusher
+//!
+//! A node thread never writes to a socket. Each peer connection has an
+//! outbound [`PeerQueue`] with one lane per [`TrafficClass`]; `Send`
+//! actions enqueue the message and a dedicated flusher thread drains the
+//! queue — **ordering frames ahead of bulk** — encodes the whole batch
+//! into one reused scratch buffer ([`write_frame_into`]) and pushes it
+//! with a single `write_all`. Under load this coalesces many frames per
+//! syscall and keeps consensus traffic from queueing behind payload
+//! floods inside the transport, mirroring the simulator's priority lane.
 
+use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-
 
 use crossbeam::channel::{unbounded, Sender};
 use iabc_runtime::Node;
-use iabc_types::{Decode, Encode, ProcessId};
-use parking_lot::Mutex;
+use iabc_types::{Decode, Encode, ProcessId, TrafficClass, WireSize};
 
 use crate::cluster::ThreadCluster;
-use crate::codec::{write_frame, FrameBuffer};
+use crate::codec::{write_frame_into, FrameBuffer};
 use crate::NetOutput;
 
 /// A mesh of loop-back TCP connections between `n` local "processes".
 ///
 /// Internally each process still runs on a thread (this is a test/demo
 /// vehicle, not a deployment platform), but every message crosses a real
-/// socket through [`write_frame`]/[`read_frame`], so the full
+/// socket through the wire codec, so the full
 /// encode → TCP → decode path is exercised.
 pub struct TcpCluster<N: Node>
 where
     N::Msg: Encode,
 {
     inner: ThreadCluster<MsgOverTcp<N>>,
-    writers: Vec<Vec<Option<SharedStream>>>,
+    outbound: OutboundMesh<N::Msg>,
+    flusher_handles: Vec<JoinHandle<()>>,
     reader_handles: Vec<JoinHandle<()>>,
 }
 
-type SharedStream = std::sync::Arc<Mutex<TcpStream>>;
+/// `outbound[i][j]`: the queue feeding the `i → j` connection's flusher
+/// (`None` on the diagonal).
+type OutboundMesh<M> = Vec<Vec<Option<Arc<PeerQueue<M>>>>>;
 
-/// Adapter node: forwards remote sends to TCP instead of channels.
+/// Maximum frames a [`PeerQueue`] holds across both lanes before `push`
+/// blocks the sending node thread. The old one-write-per-frame path got
+/// backpressure for free (the node thread blocked once the peer's TCP
+/// receive buffer filled); the queue must re-establish it, or a slow peer
+/// turns into unbounded sender-side memory growth under exactly the
+/// payload-flood workloads this repo benches.
+const MAX_OUTBOUND_FRAMES: usize = 16 * 1024;
+
+/// The two-lane outbound queue of one peer connection.
 ///
-/// The adapter intercepts `Send` actions for remote peers and writes them
-/// to the peer's socket; self-sends and everything else pass through.
+/// Pushes are cheap (append under a mutex) but **bounded**: past the
+/// capacity the pusher blocks until the flusher drains — the transport's
+/// backpressure. The flusher thread blocks on `ready` and takes
+/// *everything* pending in one batch, ordering lane first.
+struct PeerQueue<M> {
+    state: Mutex<PeerQueueState<M>>,
+    /// Signalled when work arrives or the queue closes (flusher waits).
+    ready: Condvar,
+    /// Signalled when the flusher drains or the queue closes (pushers
+    /// blocked on a full queue wait).
+    space: Condvar,
+    capacity: usize,
+}
+
+struct PeerQueueState<M> {
+    ordering: VecDeque<M>,
+    bulk: VecDeque<M>,
+    /// Set on shutdown or on a dead peer: pushes are dropped (a crashed
+    /// process loses messages — the quasi-reliable channel model).
+    closed: bool,
+}
+
+impl<M> PeerQueueState<M> {
+    fn len(&self) -> usize {
+        self.ordering.len() + self.bulk.len()
+    }
+}
+
+impl<M: WireSize> PeerQueue<M> {
+    fn new() -> Self {
+        PeerQueue::with_capacity(MAX_OUTBOUND_FRAMES)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
+        PeerQueue {
+            state: Mutex::new(PeerQueueState {
+                ordering: VecDeque::new(),
+                bulk: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues one message into its class lane, blocking while the queue
+    /// is at capacity (backpressure from a slow peer reaches the node
+    /// thread, as the old blocking write did). Dropped if closed.
+    fn push(&self, msg: M) {
+        let mut s = self.state.lock().expect("peer queue poisoned");
+        while !s.closed && s.len() >= self.capacity {
+            s = self.space.wait(s).expect("peer queue poisoned");
+        }
+        if s.closed {
+            return;
+        }
+        match msg.traffic_class() {
+            TrafficClass::Ordering => s.ordering.push_back(msg),
+            TrafficClass::Bulk => s.bulk.push_back(msg),
+        }
+        drop(s);
+        self.ready.notify_one();
+    }
+
+    /// Marks the queue closed and wakes everyone (flusher and any pushers
+    /// blocked on a full queue).
+    fn close(&self) {
+        self.state.lock().expect("peer queue poisoned").closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Blocks until messages are pending (or the queue closed empty), then
+    /// takes the whole backlog: every ordering frame first, then every
+    /// bulk frame. Returns `None` when closed and fully drained.
+    fn next_batch(&self) -> Option<Vec<M>> {
+        let mut s = self.state.lock().expect("peer queue poisoned");
+        loop {
+            if !s.ordering.is_empty() || !s.bulk.is_empty() {
+                let mut batch: Vec<M> = Vec::with_capacity(s.len());
+                batch.extend(s.ordering.drain(..));
+                batch.extend(s.bulk.drain(..));
+                drop(s);
+                self.space.notify_all();
+                return Some(batch);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).expect("peer queue poisoned");
+        }
+    }
+}
+
+/// The flusher loop of one peer connection: drain the queue in priority
+/// order, encode the batch into a reused scratch buffer, one `write_all`.
+/// A write failure means the peer is gone: close the queue (future pushes
+/// drop silently, like sends to a crashed process) and exit.
+fn flusher_loop<M: Encode>(queue: &PeerQueue<M>, mut stream: TcpStream, from: ProcessId) {
+    let mut scratch: Vec<u8> = Vec::new();
+    while let Some(batch) = queue.next_batch() {
+        scratch.clear();
+        for msg in &batch {
+            // An oversized frame is unencodable, not a transport error:
+            // skip it (write_frame_into already rolled the buffer back).
+            let _ = write_frame_into(&Tagged { from, msg }, &mut scratch);
+        }
+        if stream.write_all(&scratch).is_err() {
+            queue.close();
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Adapter node: forwards remote sends to the per-peer outbound queues.
+///
+/// The adapter intercepts `Send` actions for remote peers and enqueues
+/// them for the peer's flusher; self-sends and everything else pass
+/// through.
 struct MsgOverTcp<N: Node> {
     node: N,
     me: ProcessId,
-    writers: Vec<Option<SharedStream>>,
+    writers: Vec<Option<Arc<PeerQueue<N::Msg>>>>,
 }
 
 impl<N: Node> std::fmt::Debug for MsgOverTcp<N> {
@@ -92,17 +233,17 @@ where
     N: Node,
     N::Msg: Encode,
 {
-    /// Rewrites remote sends into socket writes, keeping everything else.
+    /// Rewrites remote sends into outbound-queue pushes, keeping
+    /// everything else.
     fn redirect(&mut self, ctx: &mut iabc_runtime::Context<N::Msg, N::Output>) {
         use iabc_runtime::Action;
         let actions = ctx.take_actions();
         for action in actions {
             match action {
                 Action::Send { to, msg } if to != self.me => {
-                    if let Some(stream) = &self.writers[to.as_usize()] {
-                        let mut s = stream.lock();
-                        // A dead peer is a crashed process: drop silently.
-                        let _ = write_frame(&Tagged { from: self.me, msg: &msg }, &mut *s);
+                    if let Some(queue) = &self.writers[to.as_usize()] {
+                        // A dead peer's queue is closed: drops silently.
+                        queue.push(msg);
                     }
                 }
                 other => {
@@ -179,24 +320,31 @@ where
             .collect();
         let addrs: Vec<_> = listeners.iter().map(|l| l.local_addr().expect("local addr")).collect();
 
-        // Writer side: from i to j (i != j), a connected stream.
-        let mut writers: Vec<Vec<Option<SharedStream>>> = (0..n).map(|_| vec![]).collect();
-        for (i, row) in writers.iter_mut().enumerate() {
+        // Writer side: from i to j (i != j), an outbound queue drained by a
+        // flusher thread that owns the connected stream.
+        let mut outbound: OutboundMesh<N::Msg> = (0..n).map(|_| vec![]).collect();
+        let mut flusher_handles = Vec::new();
+        for (i, row) in outbound.iter_mut().enumerate() {
             for (j, addr) in addrs.iter().enumerate() {
                 if i == j {
                     row.push(None);
                 } else {
-                    let stream = TcpStream::connect(addr).expect("connect to peer");
+                    let mut stream = TcpStream::connect(addr).expect("connect to peer");
                     stream.set_nodelay(true).expect("nodelay");
                     // Identify ourselves so the acceptor can route.
-                    let mut s = stream.try_clone().expect("clone stream");
-                    s.write_all(&(i as u16).to_le_bytes()).expect("handshake");
-                    row.push(Some(std::sync::Arc::new(Mutex::new(stream))));
+                    stream.write_all(&(i as u16).to_le_bytes()).expect("handshake");
+                    let queue = Arc::new(PeerQueue::new());
+                    let from = ProcessId::new(i as u16);
+                    let flusher_queue = Arc::clone(&queue);
+                    flusher_handles.push(std::thread::spawn(move || {
+                        flusher_loop(&flusher_queue, stream, from);
+                    }));
+                    row.push(Some(queue));
                 }
             }
         }
 
-        let writers_for_nodes = writers.clone();
+        let writers_for_nodes = outbound.clone();
         let inner = ThreadCluster::start(n, move |p| MsgOverTcp {
             node: factory(p),
             me: p,
@@ -234,7 +382,7 @@ where
             }
         }
 
-        TcpCluster { inner, writers, reader_handles }
+        TcpCluster { inner, outbound, flusher_handles, reader_handles }
     }
 
     /// Sends an application command to process `p`.
@@ -249,11 +397,15 @@ where
 
     /// Stops node threads and closes sockets.
     pub fn shutdown(self) {
-        // Closing write halves unblocks the readers.
-        for row in &self.writers {
-            for w in row.iter().flatten() {
-                let _ = w.lock().shutdown(std::net::Shutdown::Both);
+        // Closing the queues lets each flusher drain its backlog and shut
+        // its stream down, which in turn unblocks the remote readers.
+        for row in &self.outbound {
+            for q in row.iter().flatten() {
+                q.close();
             }
+        }
+        for h in self.flusher_handles {
+            let _ = h.join();
         }
         self.inner.shutdown();
         for h in self.reader_handles {
@@ -306,8 +458,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::write_frame;
     use iabc_runtime::Context;
-    use iabc_types::{CodecError, WireSize};
+    use iabc_types::CodecError;
 
     #[derive(Clone, Debug, PartialEq)]
     struct Num(u32);
@@ -378,6 +531,138 @@ mod tests {
         let outs = cluster.run_for(std::time::Duration::from_millis(400));
         assert_eq!(outs.len(), 3, "all three processes must receive the fanout");
         assert!(outs.iter().all(|o| o.output == (ProcessId::new(1), 77)));
+        cluster.shutdown();
+    }
+
+    /// A classed test frame: odd values are ordering, even values bulk.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Classed(u32);
+    impl WireSize for Classed {
+        fn wire_size(&self) -> usize {
+            4
+        }
+        fn traffic_class(&self) -> TrafficClass {
+            if self.0 % 2 == 1 { TrafficClass::Ordering } else { TrafficClass::Bulk }
+        }
+    }
+    impl Encode for Classed {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.0.encode(buf);
+        }
+    }
+    impl Decode for Classed {
+        fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+            Ok(Classed(u32::decode(buf)?))
+        }
+    }
+
+    #[test]
+    fn outbound_queue_drains_ordering_ahead_of_bulk() {
+        let q: PeerQueue<Classed> = PeerQueue::new();
+        for v in [2, 4, 1, 6, 3] {
+            q.push(Classed(v));
+        }
+        let batch = q.next_batch().expect("queue not closed");
+        let vals: Vec<u32> = batch.iter().map(|c| c.0).collect();
+        // Ordering lane first (FIFO within the lane), then bulk FIFO.
+        assert_eq!(vals, vec![1, 3, 2, 4, 6]);
+        // Queue now empty: close makes next_batch return None.
+        q.close();
+        assert!(q.next_batch().is_none());
+        // Pushes after close are dropped (crashed-peer semantics).
+        q.push(Classed(9));
+        assert!(q.next_batch().is_none());
+    }
+
+    #[test]
+    fn full_queue_blocks_the_pusher_until_the_flusher_drains() {
+        let q: Arc<PeerQueue<Classed>> = Arc::new(PeerQueue::with_capacity(4));
+        for v in 0..4 {
+            q.push(Classed(v));
+        }
+        // The fifth push must block (backpressure), not grow the queue.
+        let pq = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || pq.push(Classed(99)));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!pusher.is_finished(), "push past capacity must block");
+        // Draining frees space and unblocks it.
+        let batch = q.next_batch().expect("open queue");
+        assert_eq!(batch.len(), 4);
+        pusher.join().unwrap();
+        let batch = q.next_batch().expect("open queue");
+        assert_eq!(batch.iter().map(|c| c.0).collect::<Vec<_>>(), vec![99]);
+        // close() releases blocked pushers too (message dropped).
+        for v in 0..4 {
+            q.push(Classed(v));
+        }
+        let pq = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || pq.push(Classed(100)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        pusher.join().unwrap();
+    }
+
+    #[test]
+    fn flusher_coalesces_a_batch_into_one_stream_write() {
+        // Drive a real flusher thread over a socket pair and check that
+        // every frame of a mixed burst arrives, ordering frames first.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        let queue: Arc<PeerQueue<Classed>> = Arc::new(PeerQueue::new());
+        // Fill the queue *before* the flusher starts, so the whole burst
+        // is one batch (and one write_all).
+        for v in [2, 4, 1, 6, 3, 8, 5] {
+            queue.push(Classed(v));
+        }
+        let fq = Arc::clone(&queue);
+        let flusher =
+            std::thread::spawn(move || flusher_loop(&fq, stream, ProcessId::new(0)));
+
+        let mut frames = FrameBuffer::new();
+        let mut got: Vec<u32> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while got.len() < 7 {
+            let read = std::io::Read::read(&mut server, &mut chunk).unwrap();
+            assert!(read > 0, "stream closed before the batch arrived");
+            frames.extend(&chunk[..read]);
+            while let Some(t) = frames.next_frame::<TaggedOwned<Classed>>().unwrap() {
+                assert_eq!(t.from, ProcessId::new(0));
+                got.push(t.msg.0);
+            }
+        }
+        assert_eq!(got, vec![1, 3, 5, 2, 4, 6, 8], "ordering lane must drain first");
+        queue.close();
+        flusher.join().unwrap();
+    }
+
+    #[test]
+    fn mixed_class_traffic_over_tcp_delivers_everything() {
+        struct MixedEcho;
+        impl Node for MixedEcho {
+            type Msg = Classed;
+            type Command = u32;
+            type Output = (ProcessId, u32);
+            fn on_command(&mut self, cmd: u32, ctx: &mut Context<Classed, (ProcessId, u32)>) {
+                ctx.send_to_all(Classed(cmd));
+            }
+            fn on_message(
+                &mut self,
+                from: ProcessId,
+                m: Classed,
+                ctx: &mut Context<Classed, (ProcessId, u32)>,
+            ) {
+                ctx.output((from, m.0));
+            }
+        }
+        let mut cluster = TcpCluster::start(3, |_| MixedEcho);
+        for v in 0..20u32 {
+            cluster.send_command(ProcessId::new((v % 3) as u16), v);
+        }
+        let outs = cluster.run_for(std::time::Duration::from_millis(600));
+        assert_eq!(outs.len(), 20 * 3, "every classed frame must reach all processes");
         cluster.shutdown();
     }
 }

@@ -1,12 +1,12 @@
 //! The simulation world: nodes, resources, event loop.
 
 use iabc_runtime::{Action, Context, Node, TimerId};
-use iabc_types::{Duration, ProcessId, Time, WireSize};
+use iabc_types::{Duration, ProcessId, Time, TrafficClass, WireSize};
 
 use crate::faults::FaultPlan;
 use crate::network::NetworkParams;
 use crate::queue::EventQueue;
-use crate::resource::FifoResource;
+use crate::resource::{ClassedResource, FifoResource};
 
 /// Why a `run_*` call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +49,99 @@ enum SimEvent<M, C> {
     LoopbackArrive { p: ProcessId, msg: M },
     TimerFired { p: ProcessId, timer: TimerId },
     Crash { p: ProcessId },
+    /// A classed resource finished its in-service job and may start the
+    /// next queued one (priority-lane mode only; see [`HostRes`]).
+    ResourceFree { p: ProcessId, kind: ResKind },
+}
+
+/// Which of a host's three servers a [`SimEvent::ResourceFree`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResKind {
+    Cpu,
+    NicTx,
+    NicRx,
+}
+
+/// A queued job's payload in priority-lane mode: the event to fire when
+/// service completes, plus an extra post-service delay (the loop-back path
+/// adds `loopback_delay` after the send CPU finishes). `None` models
+/// fire-and-forget CPU work ([`Action::Work`]).
+type DeferredJob<M, C> = (Duration, Option<SimEvent<M, C>>);
+
+/// One server of a simulated host: the paper's single-class FIFO model, or
+/// the two-class priority server of the traffic-lane refactor.
+///
+/// The FIFO arm computes completion times analytically at submission —
+/// exactly the seed behaviour, preserved bit-for-bit (same events pushed in
+/// the same order) so the paper-figure bins and the pinned bench baselines
+/// are untouched when the lane is off. The classed arm holds queued jobs
+/// and re-schedules itself through [`SimEvent::ResourceFree`] events.
+enum HostRes<M, C> {
+    Fifo(FifoResource),
+    Classed(ClassedResource<DeferredJob<M, C>>),
+}
+
+impl<M, C> HostRes<M, C> {
+    /// Submits a job: in FIFO mode the completion event is pushed at the
+    /// analytically computed time; in classed mode the job either starts
+    /// now (completion + `ResourceFree` pushed) or waits in its class
+    /// queue until a `ResourceFree` pops it.
+    #[allow(clippy::too_many_arguments)] // one call site per pipeline stage
+    fn submit(
+        &mut self,
+        queue: &mut EventQueue<SimEvent<M, C>>,
+        p: ProcessId,
+        kind: ResKind,
+        now: Time,
+        class: TrafficClass,
+        dur: Duration,
+        extra_delay: Duration,
+        ev: Option<SimEvent<M, C>>,
+    ) {
+        match self {
+            HostRes::Fifo(r) => {
+                let done = r.acquire(now, dur);
+                if let Some(ev) = ev {
+                    queue.push(done + extra_delay, ev);
+                }
+            }
+            HostRes::Classed(r) => {
+                if let Some(done) = r.try_start(now, class, dur) {
+                    if let Some(ev) = ev {
+                        queue.push(done + extra_delay, ev);
+                    }
+                    queue.push(done, SimEvent::ResourceFree { p, kind });
+                } else {
+                    r.enqueue(class, dur, (extra_delay, ev));
+                }
+            }
+        }
+    }
+
+    /// Handles this server's `ResourceFree`: start the next queued job
+    /// under the priority discipline and schedule the next wake-up.
+    ///
+    /// A `ResourceFree` can be stale: a completion event at the same
+    /// instant may have `try_start`ed a fresh job before this fires (the
+    /// completion is pushed first, so it runs first). Popping then would
+    /// commit a queued job one service slot early — before the in-service
+    /// job's own wake-up at `busy_until` — freezing the class choice too
+    /// soon, so an ordering frame arriving meanwhile could no longer
+    /// overtake it. Stale wake-ups must no-op; every started job schedules
+    /// its own `ResourceFree` at its true completion.
+    fn on_free(&mut self, queue: &mut EventQueue<SimEvent<M, C>>, p: ProcessId, kind: ResKind, now: Time) {
+        if let HostRes::Classed(r) = self {
+            if now < r.busy_until() {
+                return; // stale: the in-service job's wake-up will pop
+            }
+            if let Some((done, (extra_delay, ev))) = r.pop_next(now) {
+                if let Some(ev) = ev {
+                    queue.push(done + extra_delay, ev);
+                }
+                queue.push(done, SimEvent::ResourceFree { p, kind });
+            }
+        }
+    }
 }
 
 /// Predicate deciding whether a message is silently lost
@@ -72,6 +165,12 @@ pub struct SimStats {
     pub cpu_busy: Vec<Duration>,
     /// Per-process NIC transmit busy time.
     pub nic_tx_busy: Vec<Duration>,
+    /// Per-process CPU busy time attributable to [`TrafficClass::Ordering`]
+    /// messages (consensus/FD frames and protocol bookkeeping).
+    pub cpu_ordering_busy: Vec<Duration>,
+    /// Per-process CPU busy time attributable to [`TrafficClass::Bulk`]
+    /// messages (payload dissemination).
+    pub cpu_bulk_busy: Vec<Duration>,
 }
 
 /// Builder for [`SimWorld`].
@@ -84,6 +183,7 @@ pub struct SimBuilder {
     params: NetworkParams,
     faults: FaultPlan,
     max_events: u64,
+    priority_lane: bool,
 }
 
 impl SimBuilder {
@@ -94,7 +194,13 @@ impl SimBuilder {
     /// Panics if `n == 0` or `n > 64`.
     pub fn new(n: usize, params: NetworkParams) -> Self {
         assert!((1..=64).contains(&n), "need 1 ≤ n ≤ 64 processes, got {n}");
-        SimBuilder { n, params, faults: FaultPlan::none(), max_events: 200_000_000 }
+        SimBuilder {
+            n,
+            params,
+            faults: FaultPlan::none(),
+            max_events: 200_000_000,
+            priority_lane: false,
+        }
     }
 
     /// Installs a fault plan (scheduled crashes).
@@ -110,6 +216,16 @@ impl SimBuilder {
         self
     }
 
+    /// Selects the host model: `false` (default) is the paper's
+    /// single-class FIFO servers, bit-for-bit the seed behaviour; `true`
+    /// replaces every CPU and NIC port with a two-class
+    /// [`ClassedResource`] that serves [`TrafficClass::Ordering`] messages
+    /// ahead of queued [`TrafficClass::Bulk`] payloads.
+    pub fn priority_lane(mut self, on: bool) -> Self {
+        self.priority_lane = on;
+        self
+    }
+
     /// Builds the world, creating one node per process with `factory`.
     pub fn build<N, F>(self, mut factory: F) -> SimWorld<N>
     where
@@ -117,14 +233,26 @@ impl SimBuilder {
         F: FnMut(ProcessId) -> N,
     {
         let nodes: Vec<N> = ProcessId::all(self.n).map(&mut factory).collect();
+        let make_res = || -> Vec<HostRes<N::Msg, N::Command>> {
+            (0..self.n)
+                .map(|_| {
+                    if self.priority_lane {
+                        HostRes::Classed(ClassedResource::new())
+                    } else {
+                        HostRes::Fifo(FifoResource::new())
+                    }
+                })
+                .collect()
+        };
         let mut world = SimWorld {
             n: self.n,
             params: self.params,
             nodes,
             crashed: vec![false; self.n],
-            cpu: vec![FifoResource::new(); self.n],
-            nic_tx: vec![FifoResource::new(); self.n],
-            nic_rx: vec![FifoResource::new(); self.n],
+            cpu: make_res(),
+            nic_tx: make_res(),
+            nic_rx: make_res(),
+            priority_lane: self.priority_lane,
             queue: EventQueue::new(),
             now: Time::ZERO,
             outputs: Vec::new(),
@@ -132,6 +260,8 @@ impl SimBuilder {
             stats: SimStats {
                 cpu_busy: vec![Duration::ZERO; self.n],
                 nic_tx_busy: vec![Duration::ZERO; self.n],
+                cpu_ordering_busy: vec![Duration::ZERO; self.n],
+                cpu_bulk_busy: vec![Duration::ZERO; self.n],
                 ..SimStats::default()
             },
             max_events: self.max_events,
@@ -154,9 +284,10 @@ pub struct SimWorld<N: Node> {
     params: NetworkParams,
     nodes: Vec<N>,
     crashed: Vec<bool>,
-    cpu: Vec<FifoResource>,
-    nic_tx: Vec<FifoResource>,
-    nic_rx: Vec<FifoResource>,
+    cpu: Vec<HostRes<N::Msg, N::Command>>,
+    nic_tx: Vec<HostRes<N::Msg, N::Command>>,
+    nic_rx: Vec<HostRes<N::Msg, N::Command>>,
+    priority_lane: bool,
     queue: EventQueue<SimEvent<N::Msg, N::Command>>,
     now: Time,
     outputs: Vec<OutputRecord<N::Output>>,
@@ -180,6 +311,12 @@ impl<N: Node> SimWorld<N> {
     /// Whether process `p` has crashed (so far).
     pub fn is_crashed(&self, p: ProcessId) -> bool {
         self.crashed[p.as_usize()]
+    }
+
+    /// Whether hosts run the two-class priority lane (see
+    /// [`SimBuilder::priority_lane`]).
+    pub fn priority_lane(&self) -> bool {
+        self.priority_lane
     }
 
     /// Read access to a node's protocol state (for tests and probes).
@@ -315,8 +452,17 @@ impl<N: Node> SimWorld<N> {
                     return;
                 }
                 let tx = self.params.tx_time(bytes);
-                let done = self.nic_tx[from.as_usize()].acquire(self.now, tx);
-                self.queue.push(done, SimEvent::TxDone { from, to, bytes, msg });
+                let class = msg.traffic_class();
+                self.nic_tx[from.as_usize()].submit(
+                    &mut self.queue,
+                    from,
+                    ResKind::NicTx,
+                    self.now,
+                    class,
+                    tx,
+                    Duration::ZERO,
+                    Some(SimEvent::TxDone { from, to, bytes, msg }),
+                );
             }
             SimEvent::TxDone { from, to, bytes, msg } => {
                 if !self.alive(from) {
@@ -331,26 +477,53 @@ impl<N: Node> SimWorld<N> {
                     return;
                 }
                 let tx = self.params.tx_time(bytes);
-                let done = self.nic_rx[to.as_usize()].acquire(self.now, tx);
-                self.queue.push(done, SimEvent::RxDone { from, to, bytes, msg });
+                let class = msg.traffic_class();
+                self.nic_rx[to.as_usize()].submit(
+                    &mut self.queue,
+                    to,
+                    ResKind::NicRx,
+                    self.now,
+                    class,
+                    tx,
+                    Duration::ZERO,
+                    Some(SimEvent::RxDone { from, to, bytes, msg }),
+                );
             }
             SimEvent::RxDone { from, to, bytes, msg } => {
                 if !self.alive(to) {
                     return;
                 }
                 let cost = self.params.recv_cpu(bytes);
-                let done = self.cpu[to.as_usize()].acquire(self.now, cost);
-                self.stats.cpu_busy[to.as_usize()] += cost;
-                self.queue.push(done, SimEvent::RecvCpuDone { from, to, msg });
+                let class = msg.traffic_class();
+                self.note_cpu(to, class, cost);
+                self.cpu[to.as_usize()].submit(
+                    &mut self.queue,
+                    to,
+                    ResKind::Cpu,
+                    self.now,
+                    class,
+                    cost,
+                    Duration::ZERO,
+                    Some(SimEvent::RecvCpuDone { from, to, msg }),
+                );
             }
             SimEvent::LoopbackArrive { p, msg } => {
                 if !self.alive(p) {
                     return;
                 }
                 let cost = self.params.local_recv_cpu;
-                let done = self.cpu[p.as_usize()].acquire(self.now, cost);
-                self.stats.cpu_busy[p.as_usize()] += cost;
-                self.queue.push(done, SimEvent::RecvCpuDone { from: p, to: p, msg });
+                let class = msg.traffic_class();
+                self.note_cpu(p, class, cost);
+                self.cpu[p.as_usize()].submit(
+                    &mut self.queue,
+                    p,
+                    ResKind::Cpu,
+                    self.now,
+                    class,
+                    cost,
+                    Duration::ZERO,
+                    Some(SimEvent::RecvCpuDone { from: p, to: p, msg }),
+                );
             }
             SimEvent::RecvCpuDone { from, to, msg } => {
                 if !self.alive(to) {
@@ -359,6 +532,24 @@ impl<N: Node> SimWorld<N> {
                 self.stats.messages_delivered += 1;
                 self.with_node(to, |node, ctx| node.on_message(from, msg, ctx));
             }
+            SimEvent::ResourceFree { p, kind } => {
+                let res = match kind {
+                    ResKind::Cpu => &mut self.cpu[p.as_usize()],
+                    ResKind::NicTx => &mut self.nic_tx[p.as_usize()],
+                    ResKind::NicRx => &mut self.nic_rx[p.as_usize()],
+                };
+                res.on_free(&mut self.queue, p, kind, self.now);
+            }
+        }
+    }
+
+    /// Accumulates a CPU cost into the aggregate and per-class stats.
+    fn note_cpu(&mut self, p: ProcessId, class: TrafficClass, cost: Duration) {
+        let pi = p.as_usize();
+        self.stats.cpu_busy[pi] += cost;
+        match class {
+            TrafficClass::Ordering => self.stats.cpu_ordering_busy[pi] += cost,
+            TrafficClass::Bulk => self.stats.cpu_bulk_busy[pi] += cost,
         }
     }
 
@@ -390,27 +581,55 @@ impl<N: Node> SimWorld<N> {
                 }
                 self.stats.messages_sent += 1;
                 let pi = p.as_usize();
+                let class = msg.traffic_class();
                 if to == p {
                     let cost = self.params.local_send_cpu;
-                    let done = self.cpu[pi].acquire(self.now, cost);
-                    self.stats.cpu_busy[pi] += cost;
-                    self.queue
-                        .push(done + self.params.loopback_delay, SimEvent::LoopbackArrive { p, msg });
+                    self.note_cpu(p, class, cost);
+                    let delay = self.params.loopback_delay;
+                    self.cpu[pi].submit(
+                        &mut self.queue,
+                        p,
+                        ResKind::Cpu,
+                        self.now,
+                        class,
+                        cost,
+                        delay,
+                        Some(SimEvent::LoopbackArrive { p, msg }),
+                    );
                 } else {
                     let bytes = msg.wire_size();
                     let cost = self.params.send_cpu(bytes);
-                    let done = self.cpu[pi].acquire(self.now, cost);
-                    self.stats.cpu_busy[pi] += cost;
+                    self.note_cpu(p, class, cost);
                     self.stats.nic_tx_busy[pi] += self.params.tx_time(bytes);
-                    self.queue.push(done, SimEvent::SendCpuDone { from: p, to, bytes, msg });
+                    self.cpu[pi].submit(
+                        &mut self.queue,
+                        p,
+                        ResKind::Cpu,
+                        self.now,
+                        class,
+                        cost,
+                        Duration::ZERO,
+                        Some(SimEvent::SendCpuDone { from: p, to, bytes, msg }),
+                    );
                 }
             }
             Action::SetTimer { delay, timer } => {
                 self.queue.push(self.now + delay, SimEvent::TimerFired { p, timer });
             }
             Action::Work { duration } => {
-                self.cpu[p.as_usize()].acquire(self.now, duration);
-                self.stats.cpu_busy[p.as_usize()] += duration;
+                // Protocol bookkeeping (rcv checks, propose/order costs)
+                // belongs to the ordering path.
+                self.note_cpu(p, TrafficClass::Ordering, duration);
+                self.cpu[p.as_usize()].submit(
+                    &mut self.queue,
+                    p,
+                    ResKind::Cpu,
+                    self.now,
+                    TrafficClass::Ordering,
+                    duration,
+                    Duration::ZERO,
+                    None,
+                );
             }
             Action::Output(output) => {
                 self.outputs.push(OutputRecord { at: self.now, process: p, output });

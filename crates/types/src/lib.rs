@@ -36,4 +36,4 @@ pub use idset::IdSet;
 pub use message::{AppMessage, MsgId, Payload};
 pub use process::{ProcessId, ProcessSet};
 pub use time::{Duration, Time};
-pub use wire::{Decode, Encode, WireSize};
+pub use wire::{Decode, Encode, TrafficClass, WireSize};

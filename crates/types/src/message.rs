@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use crate::process::ProcessId;
 use crate::time::Time;
-use crate::wire::{Decode, Encode, WireSize};
+use crate::wire::{Decode, Encode, TrafficClass, WireSize};
 use crate::CodecError;
 
 /// Globally unique message identifier: `(sender, per-sender sequence)`.
@@ -144,6 +144,10 @@ impl WireSize for Payload {
     fn wire_size(&self) -> usize {
         4 + self.0.len()
     }
+
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Bulk // explicit: payload bytes are dissemination traffic
+    }
 }
 
 impl Encode for Payload {
@@ -211,6 +215,10 @@ impl fmt::Debug for AppMessage {
 impl WireSize for AppMessage {
     fn wire_size(&self) -> usize {
         self.id.wire_size() + self.payload.wire_size() + 8
+    }
+
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Bulk // carries the payload: dissemination traffic
     }
 }
 

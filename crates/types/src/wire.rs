@@ -16,6 +16,38 @@
 
 use crate::error::CodecError;
 
+/// The service class of a wire message, the unit of two-class traffic
+/// scheduling.
+///
+/// Under overload the dominant cost of this stack is the reliable-broadcast
+/// payload flood queueing in front of the small consensus/failure-detector
+/// frames on every FIFO server (CPU, NIC, socket writer). Tagging each
+/// message with a class lets those servers run a priority lane: `Ordering`
+/// frames are served ahead of `Bulk` backlog, so a consensus hop no longer
+/// pays the full ingest queue (the Ring Paxos separation of coordination
+/// from dissemination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrafficClass {
+    /// Small coordination traffic: consensus and failure-detector frames.
+    Ordering,
+    /// Payload dissemination: reliable-broadcast data/relay/echo frames.
+    ///
+    /// The default for untagged messages — misclassifying coordination
+    /// traffic as `Bulk` only loses the priority, never starves payloads.
+    #[default]
+    Bulk,
+}
+
+impl TrafficClass {
+    /// Dense index (`Ordering = 0`, `Bulk = 1`) for per-class stat arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            TrafficClass::Ordering => 0,
+            TrafficClass::Bulk => 1,
+        }
+    }
+}
+
 /// Number of bytes a value occupies when encoded.
 ///
 /// Implementations must satisfy `encode(v).len() == v.wire_size()`;
@@ -23,6 +55,16 @@ use crate::error::CodecError;
 pub trait WireSize {
     /// Exact encoded size in bytes.
     fn wire_size(&self) -> usize;
+
+    /// The service class of this message for two-class traffic scheduling.
+    ///
+    /// Defaults to [`TrafficClass::Bulk`] — the conservative choice: an
+    /// untagged message never jumps ahead of payload traffic. Protocol
+    /// frame types override this (consensus and failure-detector messages
+    /// are [`TrafficClass::Ordering`]).
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Bulk
+    }
 }
 
 /// Serialize a value into a byte buffer.
@@ -212,6 +254,17 @@ pub fn check_size_invariant<T: Encode>(value: &T) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn untagged_messages_default_to_bulk() {
+        // The conservative default: a type that only implements
+        // `wire_size` never jumps the priority lane.
+        assert_eq!(7u32.traffic_class(), TrafficClass::Bulk);
+        assert_eq!(vec![1u8, 2].traffic_class(), TrafficClass::Bulk);
+        assert_eq!(TrafficClass::default(), TrafficClass::Bulk);
+        assert_eq!(TrafficClass::Ordering.index(), 0);
+        assert_eq!(TrafficClass::Bulk.index(), 1);
+    }
 
     #[test]
     fn integer_roundtrips() {

@@ -59,6 +59,13 @@ pub struct WorkloadSpec {
     /// many identifiers per consensus proposal, the rest spilling to the
     /// next instance.
     pub max_proposal_ids: usize,
+    /// Whether the simulated hosts run the two-class priority lane
+    /// (ordering frames served ahead of bulk payload traffic on every CPU
+    /// and NIC). `false` is the paper's single-class FIFO model.
+    pub priority_lane: bool,
+    /// Whether the adaptive window controller uses the EWMA-relative
+    /// congestion signal instead of the absolute latency target.
+    pub ewma_signal: bool,
 }
 
 impl WorkloadSpec {
@@ -80,6 +87,8 @@ impl WorkloadSpec {
             latency_target: None,
             backlog_limit: None,
             max_proposal_ids: usize::MAX,
+            priority_lane: false,
+            ewma_signal: false,
         }
     }
 
@@ -125,6 +134,21 @@ impl WorkloadSpec {
         self.seed = seed;
         self
     }
+
+    /// Runs the simulated hosts with the two-class priority lane: ordering
+    /// (consensus/FD) frames are served ahead of queued bulk payload
+    /// frames on every CPU and NIC port.
+    pub fn with_priority_lane(mut self, on: bool) -> Self {
+        self.priority_lane = on;
+        self
+    }
+
+    /// Switches the adaptive controller to the EWMA-relative congestion
+    /// signal (halve on latency worsening vs its own moving average).
+    pub fn with_ewma_signal(mut self) -> Self {
+        self.ewma_signal = true;
+        self
+    }
 }
 
 /// The outcome of one experiment run.
@@ -168,6 +192,13 @@ pub struct ExperimentResult {
     pub final_window: usize,
     /// Proposals truncated by the proposal cap, summed over all processes.
     pub proposal_cap_hits: u64,
+    /// Mean consensus decision latency (propose → apply of locally
+    /// proposed instances) in milliseconds, over all processes — the
+    /// ordering-path health metric the priority lane targets. `0.0` when
+    /// no decision latency was observed.
+    pub mean_decision_latency_ms: f64,
+    /// Whether the run used the two-class priority lane.
+    pub priority_lane: bool,
 }
 
 impl ExperimentResult {
@@ -204,7 +235,8 @@ where
     N: Node<Command = AbcastCommand, Output = AbcastEvent> + PipelineProbe,
 {
     assert!(spec.n >= 1, "need at least one process");
-    let mut world = SimBuilder::new(spec.n, net.clone()).build(factory);
+    let mut world =
+        SimBuilder::new(spec.n, net.clone()).priority_lane(spec.priority_lane).build(factory);
 
     // Schedule the whole open-loop workload up front, coalescing up to
     // `spec.batch` payloads per broadcast tick. Each process's ticks are
@@ -290,6 +322,14 @@ where
     let final_window = world.node(ProcessId::new(0)).current_window();
     let proposal_cap_hits =
         ProcessId::all(spec.n).map(|p| world.node(p).capped_proposals()).sum();
+    let (latency_sum, latency_count) = ProcessId::all(spec.n)
+        .map(|p| world.node(p).decision_latencies())
+        .fold((Duration::ZERO, 0u64), |(s, c), (ds, dc)| (s + ds, c + dc));
+    let mean_decision_latency_ms = if latency_count > 0 {
+        latency_sum.as_secs_f64() * 1e3 / latency_count as f64
+    } else {
+        0.0
+    };
 
     let expected_pairs = broadcast_count * spec.n as u64;
     let missing_pairs = expected_pairs.saturating_sub(delivered_pairs);
@@ -310,6 +350,8 @@ where
         window_trajectory,
         final_window,
         proposal_cap_hits,
+        mean_decision_latency_ms,
+        priority_lane: spec.priority_lane,
     }
 }
 
@@ -329,6 +371,7 @@ pub fn run_variant(
         fd: FdKind::Never,
         cost,
         pipeline: iabc_core::PipelineConfig::fixed(spec.window),
+        priority_lane: spec.priority_lane,
     };
     if let Some((min, max)) = spec.adaptive_window {
         params = params.with_adaptive_window(min, max);
@@ -341,6 +384,9 @@ pub fn run_variant(
     }
     if spec.max_proposal_ids != usize::MAX {
         params = params.with_proposal_cap(spec.max_proposal_ids);
+    }
+    if spec.ewma_signal {
+        params = params.with_ewma_signal();
     }
     match (variant, family) {
         (VariantKind::Indirect, ConsensusFamily::Ct) => {
@@ -544,6 +590,53 @@ mod tests {
         );
         assert_eq!(r.missing_pairs, 0, "spill path lost deliveries");
         assert!(r.proposal_cap_hits > 0, "cap never engaged at 400 msg/s with cap 2");
+    }
+
+    #[test]
+    fn priority_lane_run_delivers_everything_and_reports_decision_latency() {
+        let net = NetworkParams::setup1();
+        let cost = CostModel::setup1();
+        let base = quick_spec(3, 200.0, 64);
+        let off = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &net,
+            cost,
+            &base,
+        );
+        let on = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &net,
+            cost,
+            &base.clone().with_priority_lane(true),
+        );
+        assert!(!off.priority_lane);
+        assert!(on.priority_lane);
+        assert_eq!(on.missing_pairs, 0, "the lane must not lose deliveries");
+        assert_eq!(
+            on.delivered_payload_pairs, off.delivered_payload_pairs,
+            "the lane re-orders service, never the delivered set"
+        );
+        assert!(off.mean_decision_latency_ms > 0.0, "decision latency must be observed");
+        assert!(on.mean_decision_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn ewma_signal_run_stays_healthy() {
+        let spec = quick_spec(3, 300.0, 16).with_adaptive_window(1, 16).with_ewma_signal();
+        let r = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &NetworkParams::setup1(),
+            CostModel::setup1(),
+            &spec,
+        );
+        assert_eq!(r.missing_pairs, 0, "EWMA-signal run lost deliveries");
+        assert!(r.window_trajectory.iter().all(|&(_, w)| (1..=16).contains(&w)));
     }
 
     #[test]
