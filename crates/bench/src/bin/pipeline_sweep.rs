@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use iabc_bench::pipeline_sweep_spec;
+use iabc_bench::{pipeline_adaptive_batch_spec, pipeline_sweep_spec};
 use iabc_core::{ConsensusFamily, CostModel, RbKind, VariantKind};
 use iabc_sim::NetworkParams;
 use iabc_types::Duration;
@@ -38,9 +38,14 @@ const ADAPTIVE_W_MAX: usize = 16;
 /// collapses fast below a few hundred ids per proposal at this load).
 const ADAPTIVE_PROPOSAL_CAP: usize = 512;
 
+/// Batch bound of the adaptive-batch row: the static grid's own `B` axis
+/// ceiling, so the coalescer's headroom equals the best fixed batch.
+const ADAPTIVE_BATCH_MAX: usize = 16;
+
 /// One measured grid point.
 struct SweepPoint {
-    /// `"static"` or `"adaptive"`.
+    /// `"static"`, `"adaptive"` (window) or `"adaptive_batch"` (window +
+    /// client-batch coalescer).
     mode: &'static str,
     /// Static `W`, or `w_max` for adaptive rows.
     window: usize,
@@ -56,6 +61,42 @@ struct SweepPoint {
     final_window: usize,
     /// Proposals truncated by the cap, summed over all processes.
     cap_hits: u64,
+    /// Process 0's client batch when the run ended (1 for fixed `B = 1`
+    /// rows; the coalescer's landing point for the adaptive-batch row).
+    final_batch: usize,
+}
+
+fn run_point(
+    mode: &'static str,
+    n: usize,
+    offered: f64,
+    window: usize,
+    w_min: usize,
+    batch: usize,
+    spec: &iabc_workload::WorkloadSpec,
+) -> SweepPoint {
+    let r = run_variant(
+        VariantKind::Indirect,
+        ConsensusFamily::Ct,
+        RbKind::EagerN2,
+        &NetworkParams::setup1(),
+        CostModel::setup1(),
+        spec,
+    );
+    SweepPoint {
+        mode,
+        window,
+        w_min,
+        batch,
+        offered_per_sec: offered,
+        delivered_per_sec: r.goodput_per_sec(n),
+        mean_ms: r.mean_ms(),
+        missing_pairs: r.missing_pairs,
+        saturated: r.saturated,
+        final_window: r.final_window,
+        cap_hits: r.proposal_cap_hits,
+        final_batch: r.final_batch,
+    }
 }
 
 fn measure_point(
@@ -72,27 +113,31 @@ fn measure_point(
             .with_adaptive_window(ADAPTIVE_W_MIN, ADAPTIVE_W_MAX)
             .with_proposal_cap(ADAPTIVE_PROPOSAL_CAP);
     }
-    let r = run_variant(
-        VariantKind::Indirect,
-        ConsensusFamily::Ct,
-        RbKind::EagerN2,
-        &NetworkParams::setup1(),
-        CostModel::setup1(),
-        &spec,
-    );
-    SweepPoint {
-        mode: if window.is_some() { "static" } else { "adaptive" },
-        window: window.unwrap_or(ADAPTIVE_W_MAX),
-        w_min: window.unwrap_or(ADAPTIVE_W_MIN),
+    run_point(
+        if window.is_some() { "static" } else { "adaptive" },
+        n,
+        offered,
+        window.unwrap_or(ADAPTIVE_W_MAX),
+        window.unwrap_or(ADAPTIVE_W_MIN),
         batch,
-        offered_per_sec: offered,
-        delivered_per_sec: r.goodput_per_sec(n),
-        mean_ms: r.mean_ms(),
-        missing_pairs: r.missing_pairs,
-        saturated: r.saturated,
-        final_window: r.final_window,
-        cap_hits: r.proposal_cap_hits,
-    }
+        &spec,
+    )
+}
+
+/// The adaptive-batch row: the adaptive-window row with the fixed client
+/// batch replaced by the backlog-driven coalescer in
+/// `[1, ADAPTIVE_BATCH_MAX]`. Its `batch` column records the *bound*.
+fn measure_adaptive_batch(n: usize, offered: f64, payload: usize, duration: Duration) -> SweepPoint {
+    let spec = pipeline_adaptive_batch_spec(n, offered, payload, duration, ADAPTIVE_BATCH_MAX);
+    run_point(
+        "adaptive_batch",
+        n,
+        offered,
+        ADAPTIVE_W_MAX,
+        ADAPTIVE_W_MIN,
+        ADAPTIVE_BATCH_MAX,
+        &spec,
+    )
 }
 
 fn write_json(path: &Path, n: usize, payload: usize, points: &[SweepPoint]) {
@@ -112,9 +157,9 @@ fn write_json(path: &Path, n: usize, payload: usize, points: &[SweepPoint]) {
             "    {{\"mode\": \"{}\", \"window\": {}, \"w_min\": {}, \"batch\": {}, \
              \"offered_per_sec\": {:.1}, \"delivered_per_sec\": {:.1}, \"mean_ms\": {:.3}, \
              \"missing_pairs\": {}, \"saturated\": {}, \"final_window\": {}, \
-             \"cap_hits\": {}}}{comma}",
+             \"cap_hits\": {}, \"final_batch\": {}}}{comma}",
             p.mode, p.window, p.w_min, p.batch, p.offered_per_sec, p.delivered_per_sec,
-            p.mean_ms, p.missing_pairs, p.saturated, p.final_window, p.cap_hits,
+            p.mean_ms, p.missing_pairs, p.saturated, p.final_window, p.cap_hits, p.final_batch,
         );
     }
     let _ = writeln!(out, "  ]");
@@ -126,6 +171,7 @@ fn write_json(path: &Path, n: usize, payload: usize, points: &[SweepPoint]) {
 fn row_label(p: &SweepPoint) -> String {
     match p.mode {
         "adaptive" => format!("adpt {}..{}", p.w_min, p.window),
+        "adaptive_batch" => format!("adpt B 1..{}", p.batch),
         _ => p.window.to_string(),
     }
 }
@@ -160,6 +206,12 @@ fn main() {
         // One adaptive row per batch size, measured after the statics so
         // the table reads as "…and here is what the controller does".
         points.push(measure_point(n, offered, payload, duration, None, b));
+        if b == 1 {
+            // The adaptive-batch row rides with the B = 1 group: it is
+            // the answer to exactly that group's collapse, with no fixed
+            // `B` at all.
+            points.push(measure_adaptive_batch(n, offered, payload, duration));
+        }
     }
     for p in &points {
         println!(
@@ -221,6 +273,25 @@ fn main() {
         adaptive.cap_hits,
     );
 
+    // Headline 3: the adaptive batch must close at least half the goodput
+    // gap between the fixed-B=1 adaptive row and the B=16 ceiling — the
+    // ROADMAP "adaptive client batching" target — without any per-run B.
+    let adaptive_batch =
+        points.iter().find(|p| p.mode == "adaptive_batch").expect("adaptive-batch row");
+    let ceiling = static_at(1, 16);
+    let gap_target =
+        adaptive.delivered_per_sec + 0.5 * (ceiling.delivered_per_sec - adaptive.delivered_per_sec);
+    println!(
+        "adaptive batch 1..{ADAPTIVE_BATCH_MAX} delivers {:.0}/s at B=1 offered load \
+         (fixed-B=1 adaptive row {:.0}/s, B=16 ceiling {:.0}/s, 50%-gap target {:.0}/s, \
+         final batch {})",
+        adaptive_batch.delivered_per_sec,
+        adaptive.delivered_per_sec,
+        ceiling.delivered_per_sec,
+        gap_target,
+        adaptive_batch.final_batch,
+    );
+
     write_json(Path::new("results/BENCH_pipeline_sweep.json"), n, payload, &points);
     println!("wrote results/BENCH_pipeline_sweep.json");
 
@@ -240,5 +311,14 @@ fn main() {
         "adaptive window must at least double static W={best_w} at B=1: {:.1}/s vs {:.1}/s",
         adaptive.delivered_per_sec,
         wide_static.delivered_per_sec,
+    );
+    assert!(
+        adaptive_batch.delivered_per_sec >= gap_target,
+        "adaptive batch must close >= 50% of the B=1 -> B=16 goodput gap: \
+         {:.1}/s < {:.1}/s (adaptive B=1 {:.1}/s, ceiling {:.1}/s)",
+        adaptive_batch.delivered_per_sec,
+        gap_target,
+        adaptive.delivered_per_sec,
+        ceiling.delivered_per_sec,
     );
 }

@@ -281,6 +281,48 @@ pub fn priority_sweep_spec(
         .with_priority_lane(lane)
 }
 
+/// The workload spec of the `priority_sweep` *large-cap* rows: the lane-on
+/// knee configuration with the proposal cap opened up to `cap` ids and the
+/// freshness gate toggled per row.
+///
+/// This is the pairing the gate exists for: with the lane on, ordering
+/// frames overtake the payload flood, so an ungated large cap reaches into
+/// just-arrived ids whose Data frames its own proposal outruns — a round
+/// burned on nacks per unflooded id slice. Gated, the oldest-first slice
+/// only ever names ids at least ~one measured flood delay old, which is
+/// what lets the lane keep `cap ≥ 512` instead of the tight 64.
+pub fn priority_large_cap_spec(
+    n: usize,
+    offered: f64,
+    payload: usize,
+    duration: Duration,
+    cap: usize,
+    freshness: bool,
+) -> WorkloadSpec {
+    priority_sweep_spec(n, offered, payload, duration, true)
+        .with_proposal_cap(cap)
+        .with_proposal_freshness(freshness)
+}
+
+/// The workload spec of the `pipeline_sweep` *adaptive-batch* row: the
+/// single-class adaptive row (AIMD window in `[1, 16]`, proposal cap 512)
+/// with the fixed client batch replaced by the queue-depth-driven
+/// coalescer in `[1, max_batch]`. At the `B = 1` knee the fixed-batch
+/// adaptive row collapses to ~3% of offered load while `B = 16` sails
+/// through — the coalescer must close that gap without a per-run `B`.
+pub fn pipeline_adaptive_batch_spec(
+    n: usize,
+    offered: f64,
+    payload: usize,
+    duration: Duration,
+    max_batch: usize,
+) -> WorkloadSpec {
+    pipeline_sweep_spec(n, offered, payload, duration, 1, 1)
+        .with_adaptive_window(1, 16)
+        .with_proposal_cap(512)
+        .with_adaptive_batch(1, max_batch)
+}
+
 pub mod trend;
 
 /// The standard stack selections used across figures.

@@ -262,6 +262,31 @@ mod tests {
     }
 
     #[test]
+    fn large_cap_and_adaptive_batch_rows_are_gated_under_their_own_keys() {
+        // The freshness-gated large-cap row and the adaptive-batch row are
+        // distinct modes: they must never cross-match the rows they are
+        // derived from, and a regression on them must fail on its own key.
+        let json = r#"
+    {"mode": "lane_on", "window": 16, "w_min": 1, "batch": 1, "offered_per_sec": 4000.0, "delivered_per_sec": 485.5, "mean_ms": 2431.872, "decision_ms": 425.466, "missing_pairs": 7303, "saturated": true, "final_window": 16, "cap_hits": 552, "nacked_rounds": 113, "freshness_held": 0},
+    {"mode": "lane_on_fresh512", "window": 16, "w_min": 1, "batch": 1, "offered_per_sec": 4000.0, "delivered_per_sec": 807.0, "mean_ms": 2165.524, "decision_ms": 40.328, "missing_pairs": 3960, "saturated": true, "final_window": 3, "cap_hits": 4, "nacked_rounds": 12, "freshness_held": 2067481},
+    {"mode": "adaptive_batch", "window": 16, "w_min": 1, "batch": 16, "offered_per_sec": 4000.0, "delivered_per_sec": 3964.2, "mean_ms": 7.233, "missing_pairs": 0, "saturated": false, "final_window": 6, "cap_hits": 0, "final_batch": 14}"#;
+        let baseline = parse_points(json);
+        assert_eq!(baseline.len(), 3);
+        let keys: Vec<_> = baseline.iter().map(TrendPoint::key).collect();
+        assert_eq!(keys.iter().collect::<std::collections::BTreeSet<_>>().len(), 3);
+        // A collapse of the gated row alone is caught against its own key.
+        let fresh = vec![
+            point_at("lane_on", 16, 1, 4000.0, 485.5),
+            point_at("lane_on_fresh512", 16, 1, 4000.0, 100.0),
+            point_at("adaptive_batch", 16, 16, 4000.0, 3950.0),
+        ];
+        let report = compare(&baseline, &fresh, 0.20);
+        assert!(report.unmatched.is_empty(), "{:?}", report.unmatched);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].contains("lane_on_fresh512"), "{}", report.regressions[0]);
+    }
+
+    #[test]
     fn adaptive_and_static_rows_never_cross_match() {
         let baseline = vec![point("static", 16, 1, 3000.0)];
         let fresh = vec![point("adaptive", 16, 1, 10.0)];

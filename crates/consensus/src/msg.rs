@@ -88,6 +88,15 @@ impl<V> ConsMsg<V> {
         }
     }
 
+    /// Whether this message *refuses* a coordinator value: a CT nack, or an
+    /// MR phase-2 echo of ⊥. Refusals are what a round burned on an
+    /// unflooded proposal looks like on the wire — the indirect algorithms
+    /// send one exactly when `rcv(v)` fails (or on a suspicion) — so the
+    /// atomic broadcast layer counts them as its nack-churn diagnostic.
+    pub fn is_refusal(&self) -> bool {
+        matches!(self, ConsMsg::CtNack { .. } | ConsMsg::MrPhase2 { est: None, .. })
+    }
+
     fn tag(&self) -> u8 {
         match self {
             ConsMsg::CtEstimate { .. } => 0,
@@ -208,6 +217,16 @@ mod tests {
         for m in msgs {
             assert_eq!(roundtrip(&m).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn refusals_are_ct_nacks_and_mr_bottom_echoes() {
+        assert!(ConsMsg::<IdSet>::CtNack { round: 1 }.is_refusal());
+        assert!(ConsMsg::<IdSet>::MrPhase2 { round: 1, est: None }.is_refusal());
+        assert!(!ConsMsg::<IdSet>::CtAck { round: 1 }.is_refusal());
+        assert!(!ConsMsg::MrPhase2 { round: 1, est: Some(ids()) }.is_refusal());
+        assert!(!ConsMsg::Decide { value: ids() }.is_refusal());
+        assert!(!ConsMsg::CtProposal { round: 1, estimate: ids() }.is_refusal());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use iabc_broadcast::{BcastDest, BcastOut, Broadcast};
 use iabc_consensus::{ConsDest, InstanceManager, MgrOut, RcvOracle, SingleConsensus};
 use iabc_fd::{FailureDetector, FdDest, FdEvent, FdOut};
 use iabc_runtime::{Context, Node, TimerId};
-use iabc_types::{AppMessage, Duration, IdSet, MsgId, ProcessId, ProcessSet};
+use iabc_types::{AppMessage, Duration, Ewma, IdSet, MsgId, ProcessId, ProcessSet, Time};
 
 /// Configuration of the consensus pipeline: window bounds, the adaptive
 /// controller's thresholds, and the server-side proposal cap.
@@ -37,6 +37,16 @@ pub struct PipelineConfig {
     /// instead of crossing the absolute `latency_target` — removing the
     /// one knob operators must otherwise tune per deployment.
     pub ewma_signal: bool,
+    /// When `true`, proposals exclude identifiers *younger than ~one flood
+    /// delay* (measured: an EWMA of this node's own RB delivery latency).
+    /// A proposal naming a just-arrived id overtakes that id's Data frames
+    /// — consensus frames ride the fast path, payload floods the slow one,
+    /// most extremely so with the priority lane on — and every acceptor
+    /// still missing the payload burns the round with a nack. Gated ids
+    /// simply wait in `unordered` until they mature; a re-propose timer
+    /// guarantees they are picked up even if no other event arrives, so no
+    /// id is ever excluded permanently.
+    pub proposal_freshness: bool,
 }
 
 /// Smoothing factor of the EWMA latency baseline (weight of the newest
@@ -52,6 +62,32 @@ pub const EWMA_WORSEN_FACTOR: f64 = 2.0;
 /// first, unavoidably noisy samples).
 const EWMA_WARMUP: u64 = 4;
 
+/// R-deliveries of *remote* messages a node must observe before its flood
+/// delay estimate is trusted and the freshness gate arms (see
+/// [`PipelineConfig::proposal_freshness`]). Until then the gate is inert —
+/// a cold node must not defer proposals on a noisy first sample.
+pub const FRESHNESS_WARMUP: u64 = 8;
+
+/// Smoothing factor of the flood delay EWMA (weight of the newest
+/// observation). Deliberately lighter than [`EWMA_ALPHA`]: delivery
+/// latency under load swings with queue depth, and a jumpy threshold
+/// would make the gate flap between deferring everything and nothing.
+pub const FRESHNESS_ALPHA: f64 = 0.1;
+
+/// Safety factor on the flood delay estimate: an id is mature once it is
+/// `FRESHNESS_FACTOR ×` the EWMA delivery latency old.
+///
+/// The EWMA is a *mean*, so at factor 1 roughly half of a flood's tail is
+/// still in flight when the gate opens — measurably, proposals still nack
+/// about as often as the tight-cap configuration. A small margin covers
+/// most of that jitter (at the 4 000 payloads/s knee: ~10× fewer nacked
+/// rounds for ~8% goodput). Large factors are *unstable* under
+/// saturation: delivery latency includes bulk queueing, so deferring
+/// aggressively deepens the very queues the estimate measures and the
+/// threshold runs away — factor 1.5 already collapses the knee to ~15%
+/// of the factor-1.1 goodput. Keep this close to 1.
+pub const FRESHNESS_FACTOR: f64 = 1.1;
+
 impl PipelineConfig {
     /// A static window of `w` instances (clamped to at least 1), uncapped
     /// proposals — today's `with_window` behaviour.
@@ -64,6 +100,7 @@ impl PipelineConfig {
             backlog_limit: 1024,
             max_proposal_ids: usize::MAX,
             ewma_signal: false,
+            proposal_freshness: false,
         }
     }
 
@@ -76,6 +113,13 @@ impl PipelineConfig {
     /// Whether the AIMD controller is armed.
     pub fn is_adaptive(&self) -> bool {
         self.w_min < self.w_max
+    }
+
+    /// Enables (or disables) the proposal freshness gate — see
+    /// [`PipelineConfig::proposal_freshness`].
+    pub fn with_proposal_freshness(mut self, on: bool) -> Self {
+        self.proposal_freshness = on;
+        self
     }
 }
 
@@ -117,9 +161,7 @@ pub struct WindowController {
     increases: u64,
     decreases: u64,
     /// EWMA of observed decision latencies, seconds (EWMA-signal mode).
-    ewma_secs: f64,
-    /// Latency observations folded into the EWMA so far.
-    ewma_obs: u64,
+    ewma: Ewma,
 }
 
 impl WindowController {
@@ -132,8 +174,7 @@ impl WindowController {
             decrease_watermark: 0,
             increases: 0,
             decreases: 0,
-            ewma_secs: 0.0,
-            ewma_obs: 0,
+            ewma: Ewma::new(EWMA_ALPHA),
         }
     }
 
@@ -160,7 +201,7 @@ impl WindowController {
     /// The EWMA latency baseline in seconds, once warmed up (EWMA-signal
     /// mode only; `None` before [`EWMA_WARMUP`] observations).
     pub fn ewma_latency_secs(&self) -> Option<f64> {
-        (self.cfg.ewma_signal && self.ewma_obs >= EWMA_WARMUP).then_some(self.ewma_secs)
+        (self.cfg.ewma_signal && self.ewma.warmed(EWMA_WARMUP)).then(|| self.ewma.value())
     }
 
     /// Whether a decision's latency signals congestion, updating the EWMA
@@ -174,13 +215,8 @@ impl WindowController {
         }
         let secs = l.as_secs_f64();
         let worsened =
-            self.ewma_obs >= EWMA_WARMUP && secs > EWMA_WORSEN_FACTOR * self.ewma_secs;
-        self.ewma_secs = if self.ewma_obs == 0 {
-            secs
-        } else {
-            EWMA_ALPHA * secs + (1.0 - EWMA_ALPHA) * self.ewma_secs
-        };
-        self.ewma_obs += 1;
+            self.ewma.warmed(EWMA_WARMUP) && secs > EWMA_WORSEN_FACTOR * self.ewma.value();
+        self.ewma.observe(secs);
         worsened
     }
 
@@ -273,6 +309,13 @@ use crate::{AbcastCommand, AbcastEvent};
 
 /// Timer-id kind reserved for the failure detector.
 const TIMER_FD: u32 = 1;
+
+/// Timer-id kind of the freshness gate's re-propose wake-up: armed when a
+/// proposal slot was available but *every* candidate id was still too
+/// young, so `maybe_propose` runs again once the earliest of them matures
+/// — without this, a gated backlog with no further inbound traffic would
+/// never be proposed (liveness).
+const TIMER_PROPOSE: u32 = 2;
 
 /// How many decided consensus instances to keep as a straggler
 /// retransmission cache before garbage collection (see
@@ -444,6 +487,30 @@ pub struct AbcastNode<V: OrderingValue, A: SingleConsensus<V>> {
     decision_latency_total: Duration,
     /// Number of latencies in `decision_latency_total`.
     decision_latency_count: u64,
+    /// Whether the freshness gate is enabled (see
+    /// [`PipelineConfig::proposal_freshness`]).
+    proposal_freshness: bool,
+    /// EWMA of observed RB delivery latency (broadcast → local R-deliver)
+    /// over *remote* messages, in seconds — the node's flood delay
+    /// estimate. Local deliveries are instant and would drag it to zero.
+    flood_delay: Ewma,
+    /// Latest broadcast instant among all R-delivered messages: once even
+    /// this one is past the maturity threshold, every candidate id is
+    /// mature and the gate's per-id scan can be skipped wholesale — the
+    /// steady-state common case under a deep (hence old) backlog.
+    newest_broadcast_at: Time,
+    /// Identifiers excluded from proposals by the freshness gate so far
+    /// (cumulative over proposals; a slow-maturing id counts once per
+    /// proposal it sat out).
+    freshness_held: u64,
+    /// Whether a [`TIMER_PROPOSE`] wake-up is already in flight.
+    propose_timer_armed: bool,
+    /// Consensus refusal *messages* this node sent (CT nacks / MR ⊥
+    /// echoes, suspicion-triggered ones included) — a per-acceptor proxy
+    /// for rounds burned on unflooded proposals: one burned round shows
+    /// up as up to `n - 1` refusals across the system, so compare the
+    /// counter between configurations, not against a round count.
+    nacks_sent: u64,
 }
 
 impl<V: OrderingValue, A: SingleConsensus<V>> fmt::Debug for AbcastNode<V, A> {
@@ -504,6 +571,12 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             delivered_count: 0,
             decision_latency_total: Duration::ZERO,
             decision_latency_count: 0,
+            proposal_freshness: pipeline.proposal_freshness,
+            flood_delay: Ewma::new(FRESHNESS_ALPHA),
+            newest_broadcast_at: Time::ZERO,
+            freshness_held: 0,
+            propose_timer_armed: false,
+            nacks_sent: 0,
         }
     }
 
@@ -557,6 +630,35 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     /// Proposals truncated by the `max_proposal_ids` cap so far.
     pub fn proposal_cap_hits(&self) -> u64 {
         self.cap_hits
+    }
+
+    /// Identifiers the freshness gate excluded from proposals so far.
+    pub fn freshness_held(&self) -> u64 {
+        self.freshness_held
+    }
+
+    /// Consensus refusal messages (CT nacks, MR ⊥ echoes) this node sent
+    /// so far — see the field docs for how this relates to burned rounds.
+    pub fn nacks_sent(&self) -> u64 {
+        self.nacks_sent
+    }
+
+    /// The node's current flood delay estimate: the EWMA of its RB
+    /// delivery latency over remote messages. `None` until
+    /// [`FRESHNESS_WARMUP`] remote deliveries were observed (the gate is
+    /// inert until then — and always when `proposal_freshness` is off).
+    /// The gate's maturity threshold is [`FRESHNESS_FACTOR`] × this.
+    pub fn flood_delay_estimate(&self) -> Option<Duration> {
+        self.flood_delay
+            .warmed(FRESHNESS_WARMUP)
+            .then(|| Duration::from_secs_f64(self.flood_delay.value()))
+    }
+
+    /// Identifiers received but not yet a-delivered (unordered backlog
+    /// plus ordered ids awaiting their payload) — the ingestion pressure
+    /// signal adaptive batch coalescers key off.
+    pub fn ingest_backlog(&self) -> usize {
+        self.unordered.len() + self.ordered.len()
     }
 
     /// `(sum, count)` of observed decision latencies (locally proposed
@@ -647,6 +749,9 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     fn apply_mgr_out(&mut self, out: MgrOut<V>, ctx: &mut Ctx<V>) {
         ctx.work(out.work);
         for (k, dest, msg) in out.sends {
+            if msg.is_refusal() {
+                self.nacks_sent += 1;
+            }
             let env = Envelope::Cons { k, msg };
             match dest {
                 ConsDest::To(q) => ctx.send(q, env),
@@ -674,9 +779,18 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     /// Algorithm 1 lines 11–14: R-deliver.
     fn rdeliver(&mut self, m: AppMessage, ctx: &mut Ctx<V>) {
         let id = m.id();
+        let broadcast_at = m.broadcast_at();
         if !self.store.insert(m) {
             return; // duplicate copies are possible across layers
         }
+        if id.sender() != self.me {
+            // First copy of a remote message: its broadcast → R-deliver
+            // time is one observation of the flood delay (queueing
+            // included — under load that is the dominant term, and exactly
+            // what the freshness gate must wait out).
+            self.flood_delay.observe(ctx.now().elapsed_since(broadcast_at).as_secs_f64());
+        }
+        self.newest_broadcast_at = self.newest_broadcast_at.max(broadcast_at);
         if !self.ordered_ever.contains(&id) {
             self.unordered.insert(id);
         }
@@ -720,6 +834,52 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             if candidate.is_empty() {
                 return;
             }
+            // Freshness gate: an id younger than ~one flood delay is still
+            // mid-flood — a proposal naming it overtakes its own Data
+            // frames and the round burns on nacks from acceptors missing
+            // the payload. Keep such ids in `unordered` until they mature.
+            // Skip the per-id scan when even the newest message ever
+            // R-delivered is already mature — under a deep backlog the
+            // candidates are old, and this makes the gate O(1) in steady
+            // state.
+            if let Some(threshold) = self
+                .freshness_threshold()
+                .filter(|&t| self.newest_broadcast_at + t > ctx.now())
+            {
+                let now = ctx.now();
+                let mut earliest_fresh: Option<Time> = None;
+                let mut mature: Vec<MsgId> = Vec::with_capacity(candidate.len());
+                for id in candidate.iter() {
+                    // Ids in `unordered` always have their message in the
+                    // store (rdeliver inserts there first); treat a missing
+                    // entry as mature rather than stranding the id.
+                    let Some(m) = self.store.get(id) else {
+                        mature.push(id);
+                        continue;
+                    };
+                    let ready_at = m.broadcast_at() + threshold;
+                    if ready_at <= now {
+                        mature.push(id);
+                    } else {
+                        earliest_fresh =
+                            Some(earliest_fresh.map_or(ready_at, |t| t.min(ready_at)));
+                    }
+                }
+                if mature.is_empty() {
+                    // Every candidate is mid-flood: do not burn a round —
+                    // wake up when the earliest one matures (nothing else
+                    // is guaranteed to re-trigger proposing).
+                    if let Some(at) = earliest_fresh {
+                        self.arm_propose_timer(at, ctx);
+                    }
+                    return;
+                }
+                let held = candidate.len() - mature.len();
+                if held > 0 {
+                    self.freshness_held += held as u64;
+                    candidate = IdSet::from_ids(mature);
+                }
+            }
             if candidate.len() > self.max_proposal_ids {
                 // Take the *oldest* ids first, round-robin across senders
                 // (order by (seq, sender), not the set's (sender, seq)
@@ -755,6 +915,31 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             // immediately); the loop re-reads window occupancy afterwards.
             self.apply_mgr_out(mout, ctx);
         }
+    }
+
+    /// The age below which a candidate id counts as still mid-flood:
+    /// [`FRESHNESS_FACTOR`] × the node's measured flood delay. `None`
+    /// while the gate is disabled or the estimate has not warmed up — no
+    /// exclusions then.
+    fn freshness_threshold(&self) -> Option<Duration> {
+        if !self.proposal_freshness {
+            return None;
+        }
+        (self.flood_delay.warmed(FRESHNESS_WARMUP))
+            .then(|| Duration::from_secs_f64(FRESHNESS_FACTOR * self.flood_delay.value()))
+    }
+
+    /// Arms the freshness gate's re-propose wake-up for time `at`. At most
+    /// one is in flight — a pending wake-up re-evaluates every candidate,
+    /// so a second timer would be redundant, and letting the earlier one
+    /// fire first only delays a gated id by less than one flood delay.
+    fn arm_propose_timer(&mut self, at: Time, ctx: &mut Ctx<V>) {
+        if self.propose_timer_armed {
+            return;
+        }
+        self.propose_timer_armed = true;
+        let delay = at.elapsed_since(ctx.now()).max(Duration::from_micros(1));
+        ctx.set_timer(delay, TimerId::new(TIMER_PROPOSE, 0));
     }
 
     /// Routes a decision for instance `k`: stale or duplicate decisions are
@@ -839,6 +1024,16 @@ pub trait PipelineProbe {
     /// `(sum, count)` of decision latencies observed so far (propose →
     /// apply of locally proposed instances).
     fn decision_latencies(&self) -> (Duration, u64);
+    /// Consensus refusal messages (CT nacks, MR ⊥ echoes) this node sent
+    /// so far — a per-acceptor *proxy* for rounds burned on unflooded
+    /// proposals (one burned round ≈ up to `n - 1` refusals system-wide);
+    /// meaningful as a comparison between configurations at the same `n`.
+    fn nacked_rounds(&self) -> u64;
+    /// Identifiers the freshness gate excluded from proposals so far.
+    fn freshness_held(&self) -> u64;
+    /// Identifiers received but not yet a-delivered — the ingestion
+    /// pressure adaptive batch coalescers key off.
+    fn ingest_backlog(&self) -> usize;
 }
 
 impl<V: OrderingValue, A: SingleConsensus<V>> PipelineProbe for AbcastNode<V, A> {
@@ -852,6 +1047,18 @@ impl<V: OrderingValue, A: SingleConsensus<V>> PipelineProbe for AbcastNode<V, A>
 
     fn decision_latencies(&self) -> (Duration, u64) {
         self.decision_latency_stats()
+    }
+
+    fn nacked_rounds(&self) -> u64 {
+        self.nacks_sent()
+    }
+
+    fn freshness_held(&self) -> u64 {
+        AbcastNode::freshness_held(self)
+    }
+
+    fn ingest_backlog(&self) -> usize {
+        AbcastNode::ingest_backlog(self)
     }
 }
 
@@ -910,6 +1117,9 @@ impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
             let mut fout = FdOut::new();
             self.fd.on_timer(ctx.now(), timer.data(), &mut fout);
             self.apply_fd_out(fout, ctx);
+        } else if timer.kind() == TIMER_PROPOSE {
+            self.propose_timer_armed = false;
+            self.maybe_propose(ctx);
         }
     }
 }
@@ -1336,6 +1546,184 @@ mod tests {
         // Already at w_min, so the halving is a no-op, but it was counted.
         assert_eq!(node.window(), 1);
         assert_eq!(node.window_adaptations().1, 1, "late decision must register");
+    }
+
+    /// A remote message with an explicit broadcast instant (the freshness
+    /// gate keys on `now - broadcast_at`).
+    fn msg_at(p: u16, seq: u64, at: Time) -> AppMessage {
+        AppMessage::new(MsgId::new(ProcessId::new(p), seq), Payload::zeroed(8), at)
+    }
+
+    /// `now - d` (tests construct messages broadcast in the past).
+    fn ago(now: Time, d: Duration) -> Time {
+        Time::from_nanos(now.as_nanos() - d.as_nanos())
+    }
+
+    /// Warms a node's flood-delay EWMA to ~`delay` (constant observations)
+    /// while running the pipeline normally: delivers `FRESHNESS_WARMUP`
+    /// remote messages aged `delay`, advances the clock one `delay` so
+    /// they are all clearly mature, and decides them away — leaving the
+    /// node idle with a trusted estimate. Returns the next fresh sequence
+    /// number; the context clock ends at `now + delay`.
+    fn warm_flood_ewma(
+        node: &mut AbcastNode<IdSet, CtConsensus<IdSet>>,
+        c: &mut Ctx<IdSet>,
+        now: Time,
+        delay: Duration,
+    ) -> u64 {
+        c.set_now(now);
+        for seq in 0..FRESHNESS_WARMUP {
+            deliver_data(node, 1, msg_at(1, seq, ago(now, delay)), c);
+        }
+        // Jump well past FRESHNESS_FACTOR delays so everything is clearly
+        // mature: decide the whole backlog away so the window is free.
+        c.set_now(now + delay + delay + delay);
+        let all: Vec<MsgId> = (0..FRESHNESS_WARMUP).map(|s| msg_at(1, s, now).id()).collect();
+        let mut k = node.instance();
+        let mut guard = 0;
+        while node.unordered_len() > 0 {
+            deliver_decide(node, k, IdSet::from_ids(all.clone()), c);
+            k += 1;
+            guard += 1;
+            assert!(guard < 4, "warm-up backlog failed to drain");
+        }
+        FRESHNESS_WARMUP
+    }
+
+    #[test]
+    fn freshness_gate_defers_fresh_ids_until_they_mature() {
+        let cfg = PipelineConfig::fixed(1).with_proposal_freshness(true);
+        let mut node = test_node_with(cfg);
+        let mut c = ctx();
+        let delay = Duration::from_millis(20);
+        let now = Time::ZERO + Duration::from_millis(100);
+        let next = warm_flood_ewma(&mut node, &mut c, now, delay);
+        let est = node.flood_delay_estimate().expect("estimate warmed");
+        assert!(
+            est.as_nanos().abs_diff(delay.as_nanos()) <= 1_000,
+            "constant observations must converge to the delay, got {est}"
+        );
+        let proposed = node.instance();
+
+        // A brand-new remote id (age zero): the gate must hold it back and
+        // arm a re-propose wake-up instead of burning a round.
+        c.take_actions();
+        deliver_data(&mut node, 1, msg_at(1, next, c.now()), &mut c);
+        assert_eq!(node.instance(), proposed, "fresh id must not be proposed yet");
+        assert_eq!(node.unordered_len(), 1, "gated id stays in unordered");
+        // The age-zero delivery itself fed the EWMA, so the wake-up uses
+        // the *updated* estimate.
+        let est = node.flood_delay_estimate().expect("still warmed");
+        let timers: Vec<(Duration, TimerId)> = c
+            .take_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { delay, timer } if timer.kind() == 2 => Some((delay, timer)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(timers.len(), 1, "exactly one re-propose wake-up armed");
+        let (tdelay, timer) = timers[0];
+        let threshold = Duration::from_secs_f64(FRESHNESS_FACTOR * est.as_secs_f64());
+        assert!(
+            tdelay.as_nanos().abs_diff(threshold.as_nanos()) <= 1_000,
+            "wake-up at FRESHNESS_FACTOR flood delays, got {tdelay} vs {threshold}"
+        );
+
+        // The wake-up fires after the id matured: it gets proposed — the
+        // gate never excludes an id permanently.
+        c.set_now(c.now() + tdelay);
+        node.on_timer(timer, &mut c);
+        assert_eq!(node.instance(), proposed + 1, "matured id must be proposed");
+    }
+
+    #[test]
+    fn freshness_gate_slices_mature_ids_and_counts_held_ones() {
+        let cfg = PipelineConfig::fixed(1).with_proposal_freshness(true);
+        let mut node = test_node_with(cfg);
+        let mut c = ctx();
+        let delay = Duration::from_millis(20);
+        let now = Time::ZERO + Duration::from_millis(100);
+        let next = warm_flood_ewma(&mut node, &mut c, now, delay);
+        let proposed = node.instance();
+
+        // An old id (well past one flood delay) occupies the window…
+        let old = msg_at(1, next, ago(c.now(), Duration::from_millis(100)));
+        deliver_data(&mut node, 1, old.clone(), &mut c);
+        assert_eq!(node.instance(), proposed + 1);
+        // …then another old id and a fresh one queue behind it.
+        let old2 = msg_at(1, next + 1, ago(c.now(), Duration::from_millis(100)));
+        let fresh = msg_at(1, next + 2, c.now());
+        deliver_data(&mut node, 1, old2.clone(), &mut c);
+        deliver_data(&mut node, 1, fresh.clone(), &mut c);
+        // Deciding the head frees the slot: the next proposal must carry
+        // the mature id only, counting the held-back fresh one.
+        deliver_decide(&mut node, proposed + 1, IdSet::from_ids([old.id()]), &mut c);
+        assert_eq!(node.instance(), proposed + 2);
+        assert_eq!(node.freshness_held(), 1, "the fresh id sat the proposal out");
+        assert_eq!(node.unordered_len(), 2, "old2 proposed, fresh still unordered");
+        // Deciding old2 with only the fresh id left: defer + wake-up, and
+        // the id is eventually proposed and decided (no permanent loss).
+        deliver_decide(&mut node, proposed + 2, IdSet::from_ids([old2.id()]), &mut c);
+        assert_eq!(node.instance(), proposed + 2, "all-fresh candidate set defers");
+        c.set_now(c.now() + Duration::from_millis(80));
+        node.on_timer(TimerId::new(2, 0), &mut c);
+        assert_eq!(node.instance(), proposed + 3);
+        deliver_decide(&mut node, proposed + 3, IdSet::from_ids([fresh.id()]), &mut c);
+        assert_eq!(node.unordered_len(), 0);
+    }
+
+    #[test]
+    fn freshness_gate_is_inert_before_warmup_and_when_disabled() {
+        // Disabled: fresh ids propose immediately no matter the estimate.
+        let mut node = test_node(1);
+        let mut c = ctx();
+        let now = Time::ZERO + Duration::from_millis(50);
+        c.set_now(now);
+        deliver_data(&mut node, 1, msg_at(1, 0, now), &mut c);
+        assert_eq!(node.instance(), 1, "gate off: age-zero id proposed at once");
+
+        // Enabled but cold (under FRESHNESS_WARMUP remote deliveries): the
+        // estimate is not trusted yet, so nothing is deferred.
+        let cfg = PipelineConfig::fixed(1).with_proposal_freshness(true);
+        let mut node = test_node_with(cfg);
+        let mut c = ctx();
+        c.set_now(now);
+        assert!(node.flood_delay_estimate().is_none());
+        deliver_data(&mut node, 1, msg_at(1, 0, now), &mut c);
+        assert_eq!(node.instance(), 1, "cold gate must not defer proposals");
+    }
+
+    #[test]
+    fn node_counts_consensus_refusals_it_sends() {
+        // An indirect-CT node nacks a coordinator proposal whose payloads
+        // it does not hold; the node-level counter must see that refusal.
+        use iabc_consensus::CtIndirect;
+        let mut node: AbcastNode<IdSet, CtIndirect<IdSet>> = AbcastNode::new(
+            ProcessId::new(0),
+            3,
+            Box::new(EagerRb::new()),
+            Box::new(NeverSuspect::new()),
+            |k| CtIndirect::with_coord_offset(ProcessId::new(0), 3, k),
+            true,
+            CostModel::zero(),
+            PipelineConfig::fixed(1),
+        );
+        let mut c = ctx();
+        node.on_message(ProcessId::new(1), Envelope::Bcast(BcastMsg::Data(msg(1, 0))), &mut c);
+        assert_eq!(node.instance(), 1);
+        assert_eq!(node.nacks_sent(), 0);
+        // The round-1 coordinator proposes a value naming an id this node
+        // never received: rcv() fails, a CtNack goes out.
+        node.on_message(
+            ProcessId::new(1),
+            Envelope::Cons {
+                k: 1,
+                msg: ConsMsg::CtProposal { round: 1, estimate: IdSet::from_ids([msg(2, 99).id()]) },
+            },
+            &mut c,
+        );
+        assert_eq!(node.nacks_sent(), 1, "missing payload must register as a refusal");
     }
 
     #[test]

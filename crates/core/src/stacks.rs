@@ -179,6 +179,17 @@ impl StackParams {
         self
     }
 
+    /// Gates proposals on identifier freshness: ids younger than ~one
+    /// measured flood delay (the node's EWMA of RB delivery latency) are
+    /// excluded from proposals until they mature, so large proposal caps
+    /// stop reaching into ids whose Data frames the proposal would
+    /// overtake — the nack churn that forced the priority lane to run a
+    /// tight cap. Off by default; no behaviour change for any paper bin.
+    pub fn with_proposal_freshness(mut self, on: bool) -> Self {
+        self.pipeline.proposal_freshness = on;
+        self
+    }
+
     /// Switches the adaptive controller's congestion signal from the
     /// absolute `latency_target` to an EWMA-relative one: the window
     /// halves when decision latency worsens past

@@ -156,24 +156,64 @@ impl<M: WireSize> PeerQueue<M> {
 }
 
 /// The flusher loop of one peer connection: drain the queue in priority
-/// order, encode the batch into a reused scratch buffer, one `write_all`.
-/// A write failure means the peer is gone: close the queue (future pushes
-/// drop silently, like sends to a crashed process) and exit.
+/// order, encode the batch into a reused scratch buffer, push it with one
+/// vectored write (see [`write_batch`]). A write failure means the peer is
+/// gone: close the queue (future pushes drop silently, like sends to a
+/// crashed process) and exit.
 fn flusher_loop<M: Encode>(queue: &PeerQueue<M>, mut stream: TcpStream, from: ProcessId) {
     let mut scratch: Vec<u8> = Vec::new();
+    let mut bounds: Vec<usize> = Vec::new();
     while let Some(batch) = queue.next_batch() {
         scratch.clear();
+        bounds.clear();
         for msg in &batch {
             // An oversized frame is unencodable, not a transport error:
             // skip it (write_frame_into already rolled the buffer back).
-            let _ = write_frame_into(&Tagged { from, msg }, &mut scratch);
+            if write_frame_into(&Tagged { from, msg }, &mut scratch).is_ok() {
+                bounds.push(scratch.len());
+            }
         }
-        if stream.write_all(&scratch).is_err() {
+        if write_batch(&mut stream, &scratch, &bounds).is_err() {
             queue.close();
             break;
         }
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Pushes one encoded batch to the socket: a single `write_vectored` over
+/// the per-frame slices (`bounds[i]` is the end offset of frame `i` in
+/// `scratch`), so the kernel gathers the frames in one syscall without a
+/// second userspace copy. Sockets are free to accept only part of an
+/// iovec, so a partial write falls back to `write_all` of the remaining
+/// bytes — the frames are contiguous in the scratch buffer, which makes
+/// the remainder a plain byte suffix regardless of which frame the short
+/// write landed in.
+fn write_batch(
+    stream: &mut TcpStream,
+    scratch: &[u8],
+    bounds: &[usize],
+) -> std::io::Result<()> {
+    if scratch.is_empty() {
+        return Ok(());
+    }
+    let mut slices: Vec<std::io::IoSlice<'_>> = Vec::with_capacity(bounds.len());
+    let mut start = 0;
+    for &end in bounds {
+        slices.push(std::io::IoSlice::new(&scratch[start..end]));
+        start = end;
+    }
+    let written = loop {
+        match stream.write_vectored(&slices) {
+            Ok(n) => break n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    };
+    if written < scratch.len() {
+        stream.write_all(&scratch[written..])?;
+    }
+    Ok(())
 }
 
 /// Adapter node: forwards remote sends to the per-peer outbound queues.
@@ -634,6 +674,69 @@ mod tests {
             }
         }
         assert_eq!(got, vec![1, 3, 5, 2, 4, 6, 8], "ordering lane must drain first");
+        queue.close();
+        flusher.join().unwrap();
+    }
+
+    /// A bulk frame big enough that a batch of them overflows any socket
+    /// send buffer, forcing `write_vectored` to return short and the
+    /// flusher to take the scratch-suffix `write_all` fallback.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Big(u32);
+    const BIG_LEN: usize = 4096;
+    impl WireSize for Big {
+        fn wire_size(&self) -> usize {
+            4 + BIG_LEN
+        }
+    }
+    impl Encode for Big {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.0.encode(buf);
+            buf.extend(std::iter::repeat_n((self.0 % 251) as u8, BIG_LEN));
+        }
+    }
+    impl Decode for Big {
+        fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+            let id = u32::decode(buf)?;
+            let (body, rest) = buf.split_at(BIG_LEN);
+            assert!(body.iter().all(|&b| b == (id % 251) as u8), "frame body corrupted");
+            *buf = rest;
+            Ok(Big(id))
+        }
+    }
+
+    #[test]
+    fn vectored_flush_survives_partial_writes_on_huge_batches() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        // ~2 MiB queued before the flusher starts: one batch, far past the
+        // socket buffer, so the single write_vectored cannot take it all.
+        const FRAMES: u32 = 512;
+        let queue: Arc<PeerQueue<Big>> = Arc::new(PeerQueue::new());
+        for v in 0..FRAMES {
+            queue.push(Big(v));
+        }
+        let fq = Arc::clone(&queue);
+        let flusher = std::thread::spawn(move || flusher_loop(&fq, stream, ProcessId::new(2)));
+
+        let mut frames = FrameBuffer::new();
+        let mut got: Vec<u32> = Vec::new();
+        let mut chunk = [0u8; 64 * 1024];
+        while got.len() < FRAMES as usize {
+            let read = std::io::Read::read(&mut server, &mut chunk).unwrap();
+            assert!(read > 0, "stream closed before the batch arrived");
+            frames.extend(&chunk[..read]);
+            while let Some(t) = frames.next_frame::<TaggedOwned<Big>>().unwrap() {
+                assert_eq!(t.from, ProcessId::new(2));
+                got.push(t.msg.0);
+            }
+        }
+        // Every frame arrived intact (the Decode impl checks the body),
+        // in FIFO order — whichever frame the short write split.
+        assert_eq!(got, (0..FRAMES).collect::<Vec<_>>());
         queue.close();
         flusher.join().unwrap();
     }

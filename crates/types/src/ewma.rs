@@ -1,0 +1,83 @@
+//! A seed-then-fold exponentially weighted moving average.
+//!
+//! Three controllers in this workspace smooth a noisy scalar the same way
+//! — the pipeline window's congestion baseline, the proposer's flood
+//! delay estimate, and the classed server's bulk service quantum — and
+//! each needs the same two details handled identically: the first
+//! observation *seeds* the average (folding into an implicit zero would
+//! bias every early estimate toward zero), and consumers must be able to
+//! ignore the estimate until enough observations arrived to trust it.
+
+/// An EWMA over `f64` observations: the first observation seeds the
+/// value, later ones fold in with weight `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    obs: u64,
+}
+
+impl Ewma {
+    /// Creates an empty average with smoothing factor `alpha` (the weight
+    /// of the newest observation, in `(0, 1]`).
+    pub fn new(alpha: f64) -> Self {
+        debug_assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        Ewma { alpha, value: 0.0, obs: 0 }
+    }
+
+    /// Folds one observation in (seeding on the first).
+    pub fn observe(&mut self, x: f64) {
+        self.value = if self.obs == 0 { x } else { self.alpha * x + (1.0 - self.alpha) * self.value };
+        self.obs += 1;
+    }
+
+    /// The current estimate (0.0 before any observation).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Observations folded in so far.
+    pub fn obs(&self) -> u64 {
+        self.obs
+    }
+
+    /// Whether at least `warmup` observations arrived — the usual gate
+    /// before a consumer trusts [`Ewma::value`].
+    pub fn warmed(&self, warmup: u64) -> bool {
+        self.obs >= warmup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_seeds_the_value() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value(), 0.0);
+        assert!(!e.warmed(1));
+        e.observe(5.0);
+        assert_eq!(e.value(), 5.0, "seed, not 0.1 * 5.0");
+        assert_eq!(e.obs(), 1);
+        assert!(e.warmed(1));
+    }
+
+    #[test]
+    fn constant_observations_converge_to_the_constant() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..100 {
+            e.observe(3.5);
+        }
+        assert!((e.value() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_weights_the_newest_observation_by_alpha() {
+        let mut e = Ewma::new(0.25);
+        e.observe(4.0);
+        e.observe(8.0);
+        assert!((e.value() - (0.25 * 8.0 + 0.75 * 4.0)).abs() < 1e-12);
+        assert!(e.warmed(2) && !e.warmed(3));
+    }
+}

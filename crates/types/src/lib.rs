@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod error;
+pub mod ewma;
 pub mod idset;
 pub mod message;
 pub mod process;
@@ -32,6 +33,7 @@ pub mod wire;
 
 pub use config::SystemConfig;
 pub use error::{CodecError, ConfigError};
+pub use ewma::Ewma;
 pub use idset::IdSet;
 pub use message::{AppMessage, MsgId, Payload};
 pub use process::{ProcessId, ProcessSet};

@@ -1,0 +1,143 @@
+//! Queue-depth-driven batch coalescing: the adaptive `B`.
+//!
+//! The fixed client batch `B` trades delivery latency for goodput at a
+//! knob the operator must pick per load: `B = 1` collapses at the
+//! saturation knee while `B = 16` sails through it, but a large static
+//! `B` taxes every payload with coalescing delay even when the system is
+//! idle. [`BatchCoalescer`] picks the trade per *tick* instead — AIMD,
+//! like the pipeline window controller, but pointed the other way:
+//!
+//! * **Additive increase** while the a-deliver backlog *rises*: a growing
+//!   backlog means per-broadcast overheads (one RB flood, one proposal
+//!   slot per tick) are what saturates the hosts, so amortize more
+//!   payloads per tick, up to `max`.
+//! * **Multiplicative decrease** when the backlog *drains to empty*: the
+//!   system is keeping up, so halve toward `min` and give payloads their
+//!   low-latency singleton ticks back.
+//! * A backlog that is falling but nonzero leaves the batch alone —
+//!   the current size is evidently working; reacting to every wiggle
+//!   would thrash between the two regimes.
+//!
+//! Everything is driven by observations the experiment runner feeds once
+//! per payload arrival, so a run's coalescing decisions are a pure
+//! function of the workload seed — deterministic and replayable.
+
+/// AIMD controller for the per-tick client batch size.
+///
+/// See the [module docs](self) for the discipline. Bounds are clamped to
+/// `1 ≤ min ≤ max` at construction; [`BatchCoalescer::current`] never
+/// leaves `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct BatchCoalescer {
+    min: usize,
+    max: usize,
+    cur: usize,
+    last_backlog: usize,
+    grows: u64,
+    shrinks: u64,
+}
+
+impl BatchCoalescer {
+    /// Creates a coalescer bounded by `[min, max]` (clamped to
+    /// `1 ≤ min ≤ max`), starting at `min`.
+    pub fn new(min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        let max = max.max(min);
+        BatchCoalescer { min, max, cur: min, last_backlog: 0, grows: 0, shrinks: 0 }
+    }
+
+    /// The batch size a flush should currently target.
+    pub fn current(&self) -> usize {
+        self.cur
+    }
+
+    /// `(min, max)`.
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.min, self.max)
+    }
+
+    /// `(additive increases, multiplicative decreases)` so far.
+    pub fn adaptations(&self) -> (u64, u64) {
+        (self.grows, self.shrinks)
+    }
+
+    /// Feeds one backlog observation (the target process's a-deliver
+    /// backlog at a payload arrival) and adapts the batch size.
+    pub fn observe(&mut self, backlog: usize) {
+        if backlog > self.last_backlog {
+            if self.cur < self.max {
+                self.cur += 1;
+                self.grows += 1;
+            }
+        } else if backlog == 0 && self.cur > self.min {
+            self.cur = (self.cur / 2).max(self.min);
+            self.shrinks += 1;
+        }
+        self.last_backlog = backlog;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_clamped_and_start_at_min() {
+        let c = BatchCoalescer::new(0, 0);
+        assert_eq!(c.bounds(), (1, 1));
+        assert_eq!(c.current(), 1);
+        let c = BatchCoalescer::new(8, 2);
+        assert_eq!(c.bounds(), (8, 8), "max below min collapses to min");
+        let c = BatchCoalescer::new(2, 16);
+        assert_eq!(c.current(), 2, "starts at min");
+    }
+
+    #[test]
+    fn rising_backlog_grows_additively_to_max() {
+        let mut c = BatchCoalescer::new(1, 8);
+        for b in 1..100usize {
+            c.observe(b);
+            assert!((1..=8).contains(&c.current()), "left bounds at backlog {b}");
+        }
+        assert_eq!(c.current(), 8, "sustained rise must reach max");
+        assert_eq!(c.adaptations().0, 7);
+    }
+
+    #[test]
+    fn drain_halves_and_steady_nonzero_backlog_holds() {
+        let mut c = BatchCoalescer::new(1, 16);
+        for b in 1..=20usize {
+            c.observe(b);
+        }
+        assert_eq!(c.current(), 16);
+        // Falling but nonzero: no thrash.
+        for b in (5..20usize).rev() {
+            c.observe(b);
+            assert_eq!(c.current(), 16, "falling-but-nonzero backlog must hold");
+        }
+        // Drained: halve per observation down to min.
+        c.observe(0);
+        assert_eq!(c.current(), 8);
+        c.observe(0);
+        assert_eq!(c.current(), 4);
+        c.observe(0);
+        c.observe(0);
+        c.observe(0);
+        assert_eq!(c.current(), 1, "floor is min");
+        assert!(c.adaptations().1 >= 4);
+    }
+
+    #[test]
+    fn identical_observation_sequences_adapt_identically() {
+        let seq: Vec<usize> =
+            (0..500u64).map(|i| (i.wrapping_mul(0x9E37_79B9).rotate_left(9) % 64) as usize).collect();
+        let run = |obs: &[usize]| {
+            let mut c = BatchCoalescer::new(1, 16);
+            obs.iter().map(|&b| {
+                c.observe(b);
+                c.current()
+            }).collect::<Vec<_>>()
+        };
+        assert_eq!(run(&seq), run(&seq));
+    }
+}

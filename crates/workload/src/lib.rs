@@ -11,10 +11,12 @@
 //! a Poisson (or uniformly spaced) arrival schedule, trims warm-up, and
 //! returns latency statistics plus saturation diagnostics.
 
+pub mod coalesce;
 pub mod gen;
 pub mod runner;
 pub mod stats;
 
+pub use coalesce::BatchCoalescer;
 pub use gen::{arrival_schedule, batched_schedule, ArrivalKind};
 pub use runner::{
     run_abcast_experiment, run_variant, ExperimentResult, WorkloadSpec, CI_SMOKE_SEED,

@@ -6,7 +6,7 @@ use iabc_core::{
 };
 use iabc_core::stacks::FdKind;
 use iabc_runtime::Node;
-use iabc_sim::{NetworkParams, SimBuilder, StopReason};
+use iabc_sim::{NetworkParams, SimBuilder, SimWorld, StopReason};
 use iabc_types::{Duration, Payload, ProcessId, Time};
 
 /// The RNG seed pinned for CI smoke benchmarks: artifacts produced on
@@ -15,7 +15,8 @@ use iabc_types::{Duration, Payload, ProcessId, Time};
 /// seed through [`WorkloadSpec::with_seed`].
 pub const CI_SMOKE_SEED: u64 = 0xABCD_2006;
 
-use crate::gen::{batched_schedule, ArrivalKind};
+use crate::coalesce::BatchCoalescer;
+use crate::gen::{arrival_schedule, batched_schedule, ArrivalKind};
 use crate::stats::LatencyStats;
 
 /// One load point of the paper's symmetric workload.
@@ -40,8 +41,13 @@ pub struct WorkloadSpec {
     pub arrivals: ArrivalKind,
     /// Client-side batching `B`: up to this many payloads coalesce into one
     /// a-broadcast tick. `1` = one broadcast per payload (the paper's
-    /// workload).
+    /// workload). Ignored when `adaptive_batch` is set.
     pub batch: usize,
+    /// When set, the fixed `batch` is replaced by a queue-depth-driven
+    /// [`BatchCoalescer`] bounded by `(min, max)`: the per-tick batch
+    /// grows toward `max` while the a-deliver backlog rises and halves
+    /// toward `min` when it drains — see [`WorkloadSpec::with_adaptive_batch`].
+    pub adaptive_batch: Option<(usize, usize)>,
     /// Pipeline window `W` handed to the stack (consensus instances in
     /// flight per node). `1` = Algorithm 1 verbatim. Ignored when
     /// `adaptive_window` is set.
@@ -66,6 +72,9 @@ pub struct WorkloadSpec {
     /// Whether the adaptive window controller uses the EWMA-relative
     /// congestion signal instead of the absolute latency target.
     pub ewma_signal: bool,
+    /// Whether proposals exclude ids younger than ~one measured flood
+    /// delay (see `iabc_core::PipelineConfig::proposal_freshness`).
+    pub proposal_freshness: bool,
 }
 
 impl WorkloadSpec {
@@ -82,6 +91,7 @@ impl WorkloadSpec {
             seed: CI_SMOKE_SEED,
             arrivals: ArrivalKind::Poisson,
             batch: 1,
+            adaptive_batch: None,
             window: 1,
             adaptive_window: None,
             latency_target: None,
@@ -89,16 +99,39 @@ impl WorkloadSpec {
             max_proposal_ids: usize::MAX,
             priority_lane: false,
             ewma_signal: false,
+            proposal_freshness: false,
         }
     }
 
     /// Sets the throughput knobs: pipeline window `W` and batch size `B`
     /// (both clamped to at least 1). Clears a previously set adaptive
-    /// window — the last pipeline builder wins.
+    /// window or adaptive batch — the last pipeline builder wins.
     pub fn with_pipeline(mut self, window: usize, batch: usize) -> Self {
         self.window = window.max(1);
         self.batch = batch.max(1);
         self.adaptive_window = None;
+        self.adaptive_batch = None;
+        self
+    }
+
+    /// Replaces the fixed batch `B` with a queue-depth-driven coalescer
+    /// bounded by `[min, max]` (clamped to `1 ≤ min ≤ max`): each payload
+    /// arrival observes its process's a-deliver backlog, the per-tick
+    /// batch grows additively while the backlog rises and halves when it
+    /// drains, and a tick fires once the pending payloads fill the
+    /// current batch. Deterministic per workload seed.
+    pub fn with_adaptive_batch(mut self, min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        self.adaptive_batch = Some((min, max.max(min)));
+        self
+    }
+
+    /// Gates proposals on identifier freshness: ids younger than ~one
+    /// measured flood delay sit proposals out until their Data frames
+    /// have plausibly landed everywhere (see
+    /// `iabc_core::PipelineConfig::proposal_freshness`).
+    pub fn with_proposal_freshness(mut self, on: bool) -> Self {
+        self.proposal_freshness = on;
         self
     }
 
@@ -199,6 +232,23 @@ pub struct ExperimentResult {
     pub mean_decision_latency_ms: f64,
     /// Whether the run used the two-class priority lane.
     pub priority_lane: bool,
+    /// Consensus refusal messages (CT nacks, MR ⊥ echoes, suspicion
+    /// echoes included) sent, summed over all processes — a proxy for
+    /// rounds burned on unflooded proposals (one burned round produces up
+    /// to `n - 1` refusals), the churn the freshness gate targets.
+    /// Compare it between configurations at the same `n`; it is not a
+    /// round count.
+    pub nacked_rounds: u64,
+    /// Identifiers excluded from proposals by the freshness gate, summed
+    /// over all processes.
+    pub freshness_held: u64,
+    /// Process 0's per-tick batch size over (virtual) time, recorded at
+    /// every observed change as `(seconds since start, B)` — flat
+    /// `[(0.0, B)]` for fixed-batch runs, the coalescer's trajectory for
+    /// adaptive ones.
+    pub batch_trajectory: Vec<(f64, usize)>,
+    /// Process 0's batch size when the run ended.
+    pub final_batch: usize,
 }
 
 impl ExperimentResult {
@@ -238,25 +288,40 @@ where
     let mut world =
         SimBuilder::new(spec.n, net.clone()).priority_lane(spec.priority_lane).build(factory);
 
-    // Schedule the whole open-loop workload up front, coalescing up to
-    // `spec.batch` payloads per broadcast tick. Each process's ticks are
-    // scheduled in time order, so tick `i` of process `p` is exactly the
-    // broadcast that gets sequence number `i` — that mapping recovers the
-    // per-broadcast payload count from a delivered id below.
+    // Fixed-batch runs schedule the whole open-loop workload up front,
+    // coalescing up to `spec.batch` payloads per broadcast tick. Each
+    // process's ticks are scheduled in time order, so tick `i` of process
+    // `p` is exactly the broadcast that gets sequence number `i` — that
+    // mapping recovers the per-broadcast payload count from a delivered
+    // id below. Adaptive-batch runs keep the *raw* arrival schedule and
+    // coalesce at injection time instead, because the coalescer's batch
+    // size depends on the live a-deliver backlog.
     let horizon = spec.warmup + spec.duration;
     let rate_per_proc = spec.throughput / spec.n as f64;
     let mut batch_of: Vec<Vec<u32>> = vec![Vec::new(); spec.n];
-    for p in ProcessId::all(spec.n) {
-        for (at, count) in
-            batched_schedule(spec.arrivals, rate_per_proc, horizon, spec.seed, p, spec.batch)
-        {
-            world.schedule_command(
-                p,
-                at,
-                AbcastCommand::Broadcast(Payload::zeroed(spec.payload * count as usize)),
-            );
-            batch_of[p.as_usize()].push(count);
+    let mut arrivals: Vec<(Time, ProcessId)> = Vec::new();
+    if spec.adaptive_batch.is_none() {
+        for p in ProcessId::all(spec.n) {
+            for (at, count) in
+                batched_schedule(spec.arrivals, rate_per_proc, horizon, spec.seed, p, spec.batch)
+            {
+                world.schedule_command(
+                    p,
+                    at,
+                    AbcastCommand::Broadcast(Payload::zeroed(spec.payload * count as usize)),
+                );
+                batch_of[p.as_usize()].push(count);
+            }
         }
+    } else {
+        for p in ProcessId::all(spec.n) {
+            for at in arrival_schedule(spec.arrivals, rate_per_proc, horizon, spec.seed, p) {
+                arrivals.push((at, p));
+            }
+        }
+        // One global time order (ties broken by process id) so injection
+        // is deterministic per seed.
+        arrivals.sort_by_key(|&(at, p)| (at, p.as_usize()));
     }
 
     let window_start = Time::ZERO + spec.warmup;
@@ -273,6 +338,49 @@ where
     let mut expected: std::collections::HashMap<iabc_types::MsgId, u32> =
         std::collections::HashMap::new();
 
+    // Fires one broadcast tick carrying process `p`'s pending payloads at
+    // time `at` (no-op when nothing is pending) — the one place the
+    // tick-to-sequence accounting and the coalesced payload sizing live,
+    // shared by the batch-full and tail-flush paths.
+    fn flush_batch<N>(
+        world: &mut SimWorld<N>,
+        batch_of: &mut [Vec<u32>],
+        pending: &mut [u32],
+        p: ProcessId,
+        at: Time,
+        payload: usize,
+    ) where
+        N: Node<Command = AbcastCommand, Output = AbcastEvent>,
+    {
+        let pi = p.as_usize();
+        if pending[pi] == 0 {
+            return;
+        }
+        batch_of[pi].push(pending[pi]);
+        world.schedule_command(
+            p,
+            at,
+            AbcastCommand::Broadcast(Payload::zeroed(payload * pending[pi] as usize)),
+        );
+        pending[pi] = 0;
+    }
+
+    // The adaptive coalescing state: one controller and one pending-count
+    // per process (inert — bounds collapsed to the fixed batch — when
+    // adaptive batching is off).
+    let (b_min, b_max) = spec.adaptive_batch.unwrap_or((spec.batch, spec.batch));
+    let mut coalescers: Vec<BatchCoalescer> =
+        (0..spec.n).map(|_| BatchCoalescer::new(b_min, b_max)).collect();
+    let mut pending: Vec<u32> = vec![0; spec.n];
+    // Arrival instant of each process's newest pending payload: the tail
+    // flush must not tick earlier than this — `world.now()` alone can be
+    // stale (an empty event queue leaves the clock at the last processed
+    // event, which may precede the final arrivals).
+    let mut pending_last_at: Vec<Time> = vec![Time::ZERO; spec.n];
+    let mut arr_idx = 0usize;
+    let mut tail_flushed = false;
+    let mut batch_trajectory: Vec<(f64, usize)> = vec![(0.0, coalescers[0].current())];
+
     // Run in slices, draining outputs as we go to bound memory.
     let slice = Duration::from_millis(500);
     let mut cursor = Time::ZERO;
@@ -281,6 +389,44 @@ where
     loop {
         cursor = (cursor + slice).max(cursor);
         let target = if cursor > deadline { deadline } else { cursor };
+        // Adaptive ingestion: step arrival-by-arrival up to `target`. Each
+        // arrival observes its process's current a-deliver backlog, adapts
+        // the batch, and fires a broadcast tick once the pending payloads
+        // fill it (the tick instant is the *last* coalesced arrival, so no
+        // payload is ever broadcast before it arrived — exactly the
+        // causality rule of the precomputed fixed-batch schedule).
+        while arr_idx < arrivals.len() && arrivals[arr_idx].0 <= target {
+            let (at, p) = arrivals[arr_idx];
+            arr_idx += 1;
+            world.run_until(at);
+            let pi = p.as_usize();
+            pending[pi] += 1;
+            pending_last_at[pi] = at;
+            let co = &mut coalescers[pi];
+            co.observe(world.node(p).ingest_backlog());
+            if pi == 0 {
+                let b = co.current();
+                if batch_trajectory.last().is_none_or(|&(_, last)| last != b) {
+                    batch_trajectory.push((world.now().as_secs_f64(), b));
+                }
+            }
+            if pending[pi] as usize >= co.current() {
+                flush_batch(&mut world, &mut batch_of, &mut pending, p, at, spec.payload);
+            }
+        }
+        if !tail_flushed && arr_idx == arrivals.len() {
+            // The last arrivals are in: flush partial batches so no
+            // payload is stranded below its batch-fill threshold.
+            tail_flushed = true;
+            let now = world.now();
+            for p in ProcessId::all(spec.n) {
+                // Never tick before the payloads being flushed arrived
+                // (the causality rule mid-run flushes get from using the
+                // arrival instant directly).
+                let at = pending_last_at[p.as_usize()].max(now);
+                flush_batch(&mut world, &mut batch_of, &mut pending, p, at, spec.payload);
+            }
+        }
         let stop = world.run_until(target);
         for rec in world.drain_outputs() {
             match rec.output {
@@ -314,7 +460,10 @@ where
         if window_trajectory.last().is_none_or(|&(_, last)| last != w) {
             window_trajectory.push((world.now().as_secs_f64(), w));
         }
-        if stop == StopReason::Quiescent || target == deadline {
+        // Quiescence only ends the run once every arrival has been
+        // injected — adaptive runs hold future arrivals outside the event
+        // queue, so an idle instant mid-schedule is not the end.
+        if (stop == StopReason::Quiescent && arr_idx == arrivals.len()) || target == deadline {
             break;
         }
     }
@@ -322,6 +471,8 @@ where
     let final_window = world.node(ProcessId::new(0)).current_window();
     let proposal_cap_hits =
         ProcessId::all(spec.n).map(|p| world.node(p).capped_proposals()).sum();
+    let nacked_rounds = ProcessId::all(spec.n).map(|p| world.node(p).nacked_rounds()).sum();
+    let freshness_held = ProcessId::all(spec.n).map(|p| world.node(p).freshness_held()).sum();
     let (latency_sum, latency_count) = ProcessId::all(spec.n)
         .map(|p| world.node(p).decision_latencies())
         .fold((Duration::ZERO, 0u64), |(s, c), (ds, dc)| (s + ds, c + dc));
@@ -352,6 +503,10 @@ where
         proposal_cap_hits,
         mean_decision_latency_ms,
         priority_lane: spec.priority_lane,
+        nacked_rounds,
+        freshness_held,
+        final_batch: coalescers[0].current(),
+        batch_trajectory,
     }
 }
 
@@ -387,6 +542,9 @@ pub fn run_variant(
     }
     if spec.ewma_signal {
         params = params.with_ewma_signal();
+    }
+    if spec.proposal_freshness {
+        params = params.with_proposal_freshness(true);
     }
     match (variant, family) {
         (VariantKind::Indirect, ConsensusFamily::Ct) => {
@@ -637,6 +795,93 @@ mod tests {
         );
         assert_eq!(r.missing_pairs, 0, "EWMA-signal run lost deliveries");
         assert!(r.window_trajectory.iter().all(|&(_, w)| (1..=16).contains(&w)));
+    }
+
+    #[test]
+    fn adaptive_batch_conserves_payloads_and_stays_in_bounds() {
+        let spec = quick_spec(3, 300.0, 8).with_adaptive_batch(1, 16);
+        let r = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &NetworkParams::setup1(),
+            CostModel::setup1(),
+            &spec,
+        );
+        assert_eq!(r.missing_pairs, 0, "adaptive batching must not lose payloads");
+        assert_eq!(r.delivered_payload_pairs, r.broadcast_payloads * 3);
+        assert!(
+            r.batch_trajectory.iter().all(|&(_, b)| (1..=16).contains(&b)),
+            "batch left its bounds: {:?}",
+            r.batch_trajectory
+        );
+        assert!((1..=16).contains(&r.final_batch));
+    }
+
+    #[test]
+    fn adaptive_batch_is_deterministic_per_seed() {
+        let spec = quick_spec(3, 500.0, 8).with_adaptive_batch(1, 8).with_seed(77);
+        let run = || {
+            run_variant(
+                VariantKind::Indirect,
+                ConsensusFamily::Ct,
+                RbKind::EagerN2,
+                &NetworkParams::setup1(),
+                CostModel::setup1(),
+                &spec,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.batch_trajectory, b.batch_trajectory);
+        assert_eq!(a.broadcast_count, b.broadcast_count);
+        assert_eq!(a.delivered_payload_pairs, b.delivered_payload_pairs);
+        assert_eq!(a.final_batch, b.final_batch);
+        // A different seed drives a different schedule (and usually a
+        // different coalescing history).
+        let c = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &NetworkParams::setup1(),
+            CostModel::setup1(),
+            &spec.clone().with_seed(78),
+        );
+        assert_ne!(a.broadcast_count, 0);
+        assert_ne!((a.broadcast_count, a.delivered_pairs), (c.broadcast_count, c.delivered_pairs));
+    }
+
+    #[test]
+    fn fixed_batch_runs_report_flat_batch_trajectory() {
+        let spec = quick_spec(3, 120.0, 8).with_pipeline(1, 4);
+        let r = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &NetworkParams::setup1(),
+            CostModel::zero(),
+            &spec,
+        );
+        assert_eq!(r.batch_trajectory, vec![(0.0, 4)], "fixed B must never move");
+        assert_eq!(r.final_batch, 4);
+    }
+
+    #[test]
+    fn freshness_gated_run_delivers_everything() {
+        let spec = quick_spec(3, 400.0, 16)
+            .with_adaptive_window(1, 16)
+            .with_proposal_cap(64)
+            .with_proposal_freshness(true);
+        let r = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &NetworkParams::setup1(),
+            CostModel::setup1(),
+            &spec,
+        );
+        assert_eq!(r.missing_pairs, 0, "the gate must never strand a payload");
+        // The run is long enough past warm-up that the gate engages.
+        assert!(r.freshness_held > 0, "gate never engaged at 400/s");
     }
 
     #[test]
