@@ -1,6 +1,6 @@
 //! Eager (flooding) reliable broadcast — O(n²) messages, one-step delivery.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use iabc_types::{AppMessage, MsgId, ProcessId};
 
@@ -20,13 +20,13 @@ use crate::{BcastDest, BcastMsg, BcastOut, Broadcast};
 #[derive(Debug)]
 pub struct EagerRb {
     /// Ids already delivered (relay duplicates must be ignored).
-    seen: HashSet<MsgId>,
+    seen: BTreeSet<MsgId>,
 }
 
 impl EagerRb {
     /// Creates the module.
     pub fn new() -> Self {
-        EagerRb { seen: HashSet::new() }
+        EagerRb { seen: BTreeSet::new() }
     }
 
     /// Number of distinct messages seen so far.

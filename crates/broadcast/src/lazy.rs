@@ -1,7 +1,7 @@
 //! Lazy reliable broadcast — O(n) messages in good runs, failure-detector
 //! triggered relays otherwise.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use iabc_types::{AppMessage, MsgId, ProcessId};
 
@@ -23,24 +23,24 @@ use crate::{BcastDest, BcastMsg, BcastOut, Broadcast};
 #[derive(Debug)]
 pub struct LazyRb {
     /// Ids already delivered.
-    seen: HashSet<MsgId>,
+    seen: BTreeSet<MsgId>,
     /// Messages buffered per original broadcaster, for potential relay.
-    by_sender: HashMap<ProcessId, Vec<AppMessage>>,
+    by_sender: BTreeMap<ProcessId, Vec<AppMessage>>,
     /// Ids already relayed (relay at most once per process).
-    relayed: HashSet<MsgId>,
+    relayed: BTreeSet<MsgId>,
     /// Broadcasters currently suspected; messages arriving from them later
     /// are relayed immediately.
-    suspected: HashSet<ProcessId>,
+    suspected: BTreeSet<ProcessId>,
 }
 
 impl LazyRb {
     /// Creates the module.
     pub fn new() -> Self {
         LazyRb {
-            seen: HashSet::new(),
-            by_sender: HashMap::new(),
-            relayed: HashSet::new(),
-            suspected: HashSet::new(),
+            seen: BTreeSet::new(),
+            by_sender: BTreeMap::new(),
+            relayed: BTreeSet::new(),
+            suspected: BTreeSet::new(),
         }
     }
 

@@ -1,6 +1,6 @@
 //! Uniform reliable broadcast by majority witnessing.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use iabc_types::{quorum, AppMessage, MsgId, ProcessId, ProcessSet};
 
@@ -27,13 +27,13 @@ pub struct MajorityAckUrb {
     me: ProcessId,
     n: usize,
     /// Processes observed holding each message (including self once echoed).
-    witnesses: HashMap<MsgId, ProcessSet>,
+    witnesses: BTreeMap<MsgId, ProcessSet>,
     /// Payloads held but not yet delivered.
-    pending: HashMap<MsgId, AppMessage>,
+    pending: BTreeMap<MsgId, AppMessage>,
     /// Ids already echoed.
-    echoed: HashSet<MsgId>,
+    echoed: BTreeSet<MsgId>,
     /// Ids already delivered.
-    delivered: HashSet<MsgId>,
+    delivered: BTreeSet<MsgId>,
 }
 
 impl MajorityAckUrb {
@@ -42,10 +42,10 @@ impl MajorityAckUrb {
         MajorityAckUrb {
             me,
             n,
-            witnesses: HashMap::new(),
-            pending: HashMap::new(),
-            echoed: HashSet::new(),
-            delivered: HashSet::new(),
+            witnesses: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            echoed: BTreeSet::new(),
+            delivered: BTreeSet::new(),
         }
     }
 

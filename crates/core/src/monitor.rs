@@ -6,7 +6,7 @@
 //! executions — including executions designed to *fail* (the §2.2
 //! counterexample), where the checker must report the violation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use iabc_types::{MsgId, ProcessId};
@@ -87,11 +87,11 @@ impl fmt::Display for Violation {
 pub struct AbcastChecker {
     n: usize,
     /// id → broadcaster.
-    broadcast_by: HashMap<MsgId, ProcessId>,
+    broadcast_by: BTreeMap<MsgId, ProcessId>,
     /// Per-process delivery sequence.
     sequences: Vec<Vec<MsgId>>,
     /// Per-process delivered set (duplicate detection).
-    delivered: Vec<HashSet<MsgId>>,
+    delivered: Vec<BTreeSet<MsgId>>,
     /// Violations detected during recording.
     immediate: Vec<Violation>,
 }
@@ -101,9 +101,9 @@ impl AbcastChecker {
     pub fn new(n: usize) -> Self {
         AbcastChecker {
             n,
-            broadcast_by: HashMap::new(),
+            broadcast_by: BTreeMap::new(),
             sequences: vec![Vec::new(); n],
-            delivered: vec![HashSet::new(); n],
+            delivered: vec![BTreeSet::new(); n],
             immediate: Vec::new(),
         }
     }
@@ -171,7 +171,7 @@ impl AbcastChecker {
 
         // Uniform agreement: anything delivered anywhere must be delivered
         // at every correct process.
-        let mut delivered_anywhere: HashSet<MsgId> = HashSet::new();
+        let mut delivered_anywhere: BTreeSet<MsgId> = BTreeSet::new();
         for set in &self.delivered {
             delivered_anywhere.extend(set.iter().copied());
         }

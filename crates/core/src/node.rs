@@ -1,6 +1,6 @@
 //! The composed atomic broadcast node (Algorithm 1 of the paper).
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use iabc_broadcast::{BcastDest, BcastOut, Broadcast};
@@ -452,7 +452,7 @@ pub struct AbcastNode<V: OrderingValue, A: SingleConsensus<V>> {
     ordered: VecDeque<MsgId>,
     /// Every identifier ever ordered (line 13's membership test must cover
     /// already-delivered ids too).
-    ordered_ever: HashSet<MsgId>,
+    ordered_ever: BTreeSet<MsgId>,
     /// Current failure-detector output.
     suspected: ProcessSet,
     /// Whether the oracle really checks the store (`false` = faulty/direct).
@@ -555,7 +555,7 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             store: ReceivedStore::new(),
             unordered: IdSet::new(),
             ordered: VecDeque::new(),
-            ordered_ever: HashSet::new(),
+            ordered_ever: BTreeSet::new(),
             suspected: ProcessSet::new(),
             check_store,
             cost,

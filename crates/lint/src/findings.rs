@@ -1,0 +1,116 @@
+//! Findings and their machine-readable rendering.
+
+use std::fmt;
+
+/// One lint finding: a rule violation at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (`D1`, `D2`, `P1`, `W1`, `L1`, or `A1` for a malformed
+    /// `lint:allow` annotation).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the hazard.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(rule: &str, file: &str, line: usize, message: String) -> Self {
+        Finding { rule: rule.to_string(), file: file.to_string(), line, message }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The result of a full workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the workspace is lint-clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as JSON (machine-readable; uploaded as a CI
+    /// artifact on failure). Hand-rolled because the analyzer is std-only
+    /// by design.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!(
+                "\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            ));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str(&format!(
+            "],\n  \"count\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.findings.len(),
+            self.files_scanned
+        ));
+        s
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let r = Report {
+            findings: vec![Finding::new("D2", "crates/x/src/a.rs", 3, "use \"BTreeMap\"".into())],
+            files_scanned: 2,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"rule\": \"D2\""));
+        assert!(j.contains("\\\"BTreeMap\\\""));
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"files_scanned\": 2"));
+        // Empty report is valid JSON with an empty array.
+        let empty = Report::default().to_json();
+        assert!(empty.contains("\"findings\": []"));
+    }
+}

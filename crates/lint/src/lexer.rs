@@ -1,0 +1,378 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! lint rules: identifiers, punctuation, literals, and comments, each with
+//! a 1-based line number.
+//!
+//! The goal is *not* to parse Rust. It is to make the rules immune to the
+//! classic grep failure modes: forbidden names inside string literals,
+//! inside comments, or split across lines. Everything trickier (generics,
+//! macro bodies, attribute grammar) is left to the token-level heuristics
+//! in `rules`.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`match`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// One punctuation unit. Multi-char operators the rules care about
+    /// (`::`, `=>`, `->`, `..`) are single tokens; everything else is one
+    /// character per token.
+    Punct,
+    /// String/char/byte/numeric literal. The text of string literals is
+    /// the raw source slice including quotes.
+    Literal,
+    /// Line or block comment, including doc comments. The text includes
+    /// the comment markers.
+    Comment,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Tokenizes `source`. Never fails: unterminated strings/comments simply
+/// consume to end of input (the compiler, not the linter, owns syntax
+/// errors).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer { src: source.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_string_ahead() => self.raw_string(),
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.string();
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_literal();
+                }
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: usize) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token { kind, text, line: start_line });
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Comment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match (self.src[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Comment, start, line);
+    }
+
+    /// Looks ahead for `r"`, `r#"`, `br"`, `br#"` (raw string starts) at
+    /// the current position — as opposed to `r` / `b` starting a plain
+    /// identifier or a raw identifier `r#ident`.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = self.pos;
+        if self.src[i] == b'b' {
+            i += 1;
+        }
+        if self.src.get(i).copied() != Some(b'r') {
+            return false;
+        }
+        i += 1;
+        while self.src.get(i).copied() == Some(b'#') {
+            i += 1;
+        }
+        // `r#ident` (raw identifier) has an ident char after exactly one
+        // `#` and no quote; a raw string always reaches a `"` here.
+        self.src.get(i).copied() == Some(b'"')
+    }
+
+    fn raw_string(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        if self.src[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        self.pos += 1; // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.src[self.pos] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    fn string(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    fn char_literal(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    /// Disambiguates `'x'` (char literal) from `'lifetime`.
+    fn quote(&mut self) {
+        // An escape is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.char_literal();
+            return;
+        }
+        // `'c'` with a single char: char literal.
+        if self.peek(2) == Some(b'\'') {
+            self.char_literal();
+            return;
+        }
+        // Otherwise a lifetime: `'` followed by an identifier run.
+        let (start, line) = (self.pos, self.line);
+        self.pos += 1;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Lifetime, start, line);
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c == b'.' || c.is_ascii_alphanumeric())
+        {
+            // Do not swallow `..` (range) or a method call on a literal.
+            if self.src[self.pos] == b'.'
+                && !self.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        let two = [self.src[self.pos], self.peek(1).unwrap_or(0)];
+        match &two {
+            b"::" | b"=>" | b"->" | b".." => self.pos += 2,
+            _ => self.pos += 1,
+        }
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("foo::bar => _");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Ident, "foo".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "bar".into()),
+                (TokenKind::Punct, "=>".into()),
+                (TokenKind::Ident, "_".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_do_not_leak_identifiers() {
+        let t = tokenize(r#"let s = "HashMap::unwrap() // not a comment";"#);
+        assert!(t.iter().all(|tok| !tok.is_ident("HashMap")));
+        assert!(t.iter().any(|tok| tok.kind == TokenKind::Literal));
+        assert!(t.iter().all(|tok| tok.kind != TokenKind::Comment));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let t = tokenize(r###"let s = r#"Instant::now()"#; x"###);
+        assert!(t.iter().all(|tok| !tok.is_ident("Instant")));
+        assert!(t.iter().any(|tok| tok.is_ident("x")));
+    }
+
+    #[test]
+    fn comments_capture_text_and_line() {
+        let t = tokenize("a\n// lint:allow(D2): reason\nb /* block\nstill */ c");
+        let comments: Vec<_> = t.iter().filter(|t| t.kind == TokenKind::Comment).collect();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("lint:allow"));
+        assert_eq!(comments[1].line, 3);
+        let b = t.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+        let c = t.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 4, "block comment newlines must advance the line counter");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = kinds("&'a str; 'x'; '\\n'; '_'");
+        assert!(t.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(t.contains(&(TokenKind::Literal, "'x'".into())));
+        assert!(t.contains(&(TokenKind::Literal, "'\\n'".into())));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_calls() {
+        let t = kinds("0..4 1.0 2.max(3)");
+        assert!(t.contains(&(TokenKind::Literal, "0".into())));
+        assert!(t.contains(&(TokenKind::Punct, "..".into())));
+        assert!(t.contains(&(TokenKind::Literal, "1.0".into())));
+        assert!(t.contains(&(TokenKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* a /* b */ c */ x");
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "x"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Comment).count(), 1);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let t = kinds(r#"b"SystemTime" br"x" r#match x"#);
+        assert!(!t.contains(&(TokenKind::Ident, "SystemTime".into())));
+        // `r#match` lexes as punct/ident soup but never as a string eating
+        // the rest of the line.
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "x"));
+    }
+}

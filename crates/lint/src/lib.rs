@@ -1,0 +1,125 @@
+//! `iabc-lint` — workspace determinism & protocol-hygiene analyzer.
+//!
+//! A self-contained, std-only static analyzer for this workspace. The
+//! overload-control arc rests on properties nothing else enforces: the
+//! simulator must be deterministic per seed, committed bench baselines
+//! must be byte-identical across refactors, and every wire message must
+//! classify into the priority lane. This crate checks the cheap,
+//! mechanical versions of those invariants on every CI run:
+//!
+//! | rule | hazard |
+//! |------|--------|
+//! | `D1` | wall clock / ambient randomness in sim-reachable crates |
+//! | `D2` | `HashMap`/`HashSet` (nondeterministic iteration order) in sim-reachable crates |
+//! | `P1` | `unwrap`/`expect`/`panic!`-family in the remote-input `net` crate |
+//! | `W1` | wildcard `_ =>` arms in matches over wire enums |
+//! | `L1` | crate-layering violations in `Cargo.toml` dependencies |
+//! | `A1` | malformed `lint:allow` annotations (reason is mandatory) |
+//!
+//! Escape hatch: `// lint:allow(<rule>): <reason>` on the offending line
+//! or the line above. The reason is mandatory — an allow without one is
+//! itself a finding and suppresses nothing.
+//!
+//! Run with `cargo run --release -p iabc-lint` from anywhere in the
+//! workspace; see `--help` for JSON output options.
+
+#![warn(missing_docs)]
+
+mod findings;
+mod layering;
+mod lexer;
+mod rules;
+
+pub use findings::{Finding, Report};
+pub use layering::{check_crate_deps, package_name, parse_dependencies, Dep, LAYERS};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use rules::{lint_source, DETERMINISTIC_CRATES, REMOTE_INPUT_CRATES, RULES, WIRE_ENUMS};
+
+use std::path::{Path, PathBuf};
+
+/// Walks up from `start` to the workspace root (the first ancestor whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Runs every rule over the workspace at `root`: all `crates/*/src/**/*.rs`
+/// files (D1/D2/P1/W1 + allow hygiene) and all `crates/*/Cargo.toml`
+/// manifests (L1).
+///
+/// # Errors
+///
+/// Fails only on I/O errors walking the tree; findings are not errors.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    // Deterministic file order — the analyzer must hold itself to its own
+    // standard.
+    crate_dirs.sort();
+
+    for crate_dir in crate_dirs {
+        // L1 over the manifest.
+        let manifest_path = crate_dir.join("Cargo.toml");
+        if let Ok(manifest) = std::fs::read_to_string(&manifest_path) {
+            if let Some(pkg) = package_name(&manifest) {
+                let rel = rel_path(root, &manifest_path);
+                let deps = parse_dependencies(&manifest);
+                report.findings.extend(check_crate_deps(&pkg, &rel, &deps));
+                report.files_scanned += 1;
+            }
+        }
+        // Source rules over src/**/*.rs.
+        let src_dir = crate_dir.join("src");
+        if src_dir.is_dir() {
+            let mut files = Vec::new();
+            collect_rs_files(&src_dir, &mut files)?;
+            files.sort();
+            for file in files {
+                let source = std::fs::read_to_string(&file)?;
+                let rel = rel_path(root, &file);
+                report.findings.extend(lint_source(&rel, &source));
+                report.files_scanned += 1;
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,11 @@
+// Fixture: rule A1 must fire — allows without a reason (or naming an
+// unknown rule) are findings and suppress nothing. Linted as
+// `crates/core/src/fixture.rs`.
+
+// lint:allow(D2)
+use std::collections::HashMap;
+
+// lint:allow(Q9): no such rule
+pub struct S {
+    m: HashMap<u32, u32>,
+}

@@ -1,0 +1,16 @@
+// Fixture: rule D1 must fire — wall clock and ambient randomness in a
+// deterministic crate. Linted as `crates/sim/src/fixture.rs`.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,18 @@
+// Fixture: rule D1 must stay quiet — sim time only, seeded RNG threaded
+// through. Linted as `crates/sim/src/fixture.rs`.
+pub fn stamp(now: Time) -> Time {
+    now
+}
+
+pub fn roll(rng: &mut SplitMix64) -> u64 {
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    // Wall clock in a test module is fine: tests are not sim-reachable.
+    #[test]
+    fn timing() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: rule D2 must fire — hash collections in a deterministic crate.
+// Linted as `crates/core/src/fixture.rs`.
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    pending: HashMap<u64, Vec<u8>>,
+    seen: HashSet<u64>,
+}
+
+impl State {
+    pub fn drain(&mut self) -> Vec<u64> {
+        // Iterating a hash map: order leaks into the output.
+        self.pending.keys().copied().collect()
+    }
+}

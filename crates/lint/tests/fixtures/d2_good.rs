@@ -1,0 +1,20 @@
+// Fixture: rule D2 must stay quiet — ordered collections, plus one
+// annotated lookup-only hash map. Linted as `crates/core/src/fixture.rs`.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct State {
+    pending: BTreeMap<u64, Vec<u8>>,
+    seen: BTreeSet<u64>,
+    // lint:allow(D2): lookup-only cache, never iterated
+    cache: std::collections::HashMap<u64, u64>,
+}
+
+impl State {
+    pub fn drain(&mut self) -> Vec<u64> {
+        self.pending.keys().copied().collect()
+    }
+
+    pub fn cached(&self, k: u64) -> Option<u64> {
+        self.cache.get(&k).copied()
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: rule P1 must fire — panics on the remote-input path. Linted as
+// `crates/net/src/fixture.rs`.
+pub fn decode(buf: &[u8]) -> u32 {
+    let len: [u8; 4] = buf[0..4].try_into().expect("4 bytes");
+    if buf.len() < 4 {
+        panic!("short frame");
+    }
+    u32::from_le_bytes(len)
+}
+
+pub fn route(tag: u8) -> &'static str {
+    match tag {
+        0 => "data",
+        1 => "ack",
+        _ => unreachable!("unknown tag"),
+    }
+}
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,29 @@
+// Fixture: rule P1 must stay quiet — errors propagate, the connection gets
+// poisoned, the process survives. Linted as `crates/net/src/fixture.rs`.
+pub fn decode(buf: &[u8]) -> Result<u32, &'static str> {
+    if buf.len() < 4 {
+        return Err("short frame");
+    }
+    Ok(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]))
+}
+
+pub fn route(tag: u8) -> Result<&'static str, &'static str> {
+    match tag {
+        0 => Ok("data"),
+        1 => Ok("ack"),
+        _ => Err("unknown tag"),
+    }
+}
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    // Unwrap in a test module is fine: tests run on local input.
+    #[test]
+    fn round_trip() {
+        assert_eq!(super::decode(&[1, 0, 0, 0]).unwrap(), 1);
+    }
+}

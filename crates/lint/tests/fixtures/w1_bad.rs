@@ -1,0 +1,9 @@
+// Fixture: rule W1 must fire — wildcard arm in a match over a wire enum.
+// Linted as `crates/core/src/fixture.rs`.
+pub fn classify(e: &Envelope) -> u8 {
+    match e {
+        Envelope::Cons(ConsMsg::Propose(_)) => 0,
+        Envelope::Cons(ConsMsg::Ack(_)) => 1,
+        _ => 2,
+    }
+}

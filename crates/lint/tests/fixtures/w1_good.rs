@@ -1,0 +1,18 @@
+// Fixture: rule W1 must stay quiet — every variant named over the wire
+// enum; wildcards over non-wire types are fine. Linted as
+// `crates/core/src/fixture.rs`.
+pub fn classify(m: &FdMsg) -> u8 {
+    match m {
+        FdMsg::Heartbeat(_) => 0,
+        FdMsg::Suspect(_) => 1,
+    }
+}
+
+pub fn bucket(n: u32) -> u8 {
+    // Not a wire enum: a wildcard is idiomatic here.
+    match n {
+        0 => 0,
+        1..=9 => 1,
+        _ => 2,
+    }
+}

@@ -1,0 +1,127 @@
+//! Fixture tests: every rule has a firing (`*_bad`) and a quiet
+//! (`*_good`) fixture under `tests/fixtures/`. The fixtures are plain
+//! source text fed through `lint_source` with a synthetic in-scope path —
+//! they are not compiled.
+
+use iabc_lint::{check_crate_deps, lint_source, package_name, parse_dependencies, Finding};
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+fn assert_only_rule(findings: &[Finding], rule: &str) {
+    assert!(!findings.is_empty(), "expected {rule} findings, got none");
+    assert!(
+        findings.iter().all(|f| f.rule == rule),
+        "expected only {rule}, got {findings:?}"
+    );
+}
+
+// --- D1: wall clock / ambient randomness ------------------------------
+
+#[test]
+fn d1_bad_fires() {
+    let f = lint_source("crates/sim/src/fixture.rs", include_str!("fixtures/d1_bad.rs"));
+    assert_only_rule(&f, "D1");
+    // Instant::now, the std::time::Instant import, thread_rng, SystemTime.
+    assert!(f.len() >= 4, "{f:?}");
+}
+
+#[test]
+fn d1_good_is_quiet() {
+    let f = lint_source("crates/sim/src/fixture.rs", include_str!("fixtures/d1_good.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn d1_out_of_scope_is_quiet() {
+    // The same hazards outside a deterministic crate are not D1's business.
+    let f = lint_source("crates/net/src/fixture.rs", include_str!("fixtures/d1_bad.rs"));
+    assert!(f.iter().all(|f| f.rule != "D1"), "{f:?}");
+}
+
+// --- D2: hash collections ---------------------------------------------
+
+#[test]
+fn d2_bad_fires() {
+    let f = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/d2_bad.rs"));
+    assert_only_rule(&f, "D2");
+}
+
+#[test]
+fn d2_good_is_quiet() {
+    // BTree collections plus one annotated lookup-only HashMap.
+    let f = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/d2_good.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- P1: panics on remote-input paths ---------------------------------
+
+#[test]
+fn p1_bad_fires() {
+    let f = lint_source("crates/net/src/fixture.rs", include_str!("fixtures/p1_bad.rs"));
+    assert_only_rule(&f, "P1");
+    // expect, panic!, unreachable!, unwrap.
+    assert!(f.len() >= 4, "{f:?}");
+}
+
+#[test]
+fn p1_good_is_quiet() {
+    let f = lint_source("crates/net/src/fixture.rs", include_str!("fixtures/p1_good.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn p1_out_of_scope_is_quiet() {
+    // Panics outside the remote-input crates are not P1's business (D1/D2
+    // do not fire on this fixture either — it has no clocks or hash maps).
+    let f = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/p1_bad.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- W1: wildcard arms over wire enums --------------------------------
+
+#[test]
+fn w1_bad_fires() {
+    let f = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/w1_bad.rs"));
+    assert_only_rule(&f, "W1");
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
+fn w1_good_is_quiet() {
+    let f = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/w1_good.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- A1: allow hygiene -------------------------------------------------
+
+#[test]
+fn allow_without_reason_is_flagged_and_does_not_suppress() {
+    let f = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/allow_bad.rs"));
+    let rules = rules_of(&f);
+    // Two malformed allows (missing reason, unknown rule) ...
+    assert_eq!(rules.iter().filter(|r| **r == "A1").count(), 2, "{f:?}");
+    // ... and the HashMap findings they failed to suppress.
+    assert_eq!(rules.iter().filter(|r| **r == "D2").count(), 2, "{f:?}");
+}
+
+// --- L1: layering ------------------------------------------------------
+
+#[test]
+fn l1_bad_fires() {
+    let manifest = include_str!("fixtures/l1_bad.toml");
+    let pkg = package_name(manifest).expect("fixture has a package name");
+    let f = check_crate_deps(&pkg, "crates/sim/Cargo.toml", &parse_dependencies(manifest));
+    assert_only_rule(&f, "L1");
+    // sim → net (same layer) and sim → bench (terminal).
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn l1_good_is_quiet() {
+    let manifest = include_str!("fixtures/l1_good.toml");
+    let pkg = package_name(manifest).expect("fixture has a package name");
+    let f = check_crate_deps(&pkg, "crates/sim/Cargo.toml", &parse_dependencies(manifest));
+    assert!(f.is_empty(), "{f:?}");
+}

@@ -1,0 +1,26 @@
+//! The workspace must ship lint-clean: `run_workspace` over the real repo
+//! returns zero findings. This is the same check CI runs via the binary —
+//! having it in `cargo test` means a plain test run catches a regression
+//! before the lint step does.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace two levels up");
+    let report = iabc_lint::run_workspace(root).expect("workspace scan");
+    assert!(report.files_scanned > 0, "scan found no files — wrong root?");
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

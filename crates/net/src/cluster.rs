@@ -168,7 +168,7 @@ fn node_loop<N>(
         // Fire due timers.
         let now = Instant::now();
         while timers.peek().is_some_and(|t| t.due <= now) {
-            let t = timers.pop().expect("peeked");
+            let Some(t) = timers.pop() else { break };
             let mut ctx = Context::new(me, n, now_time(epoch));
             node.on_timer(t.timer, &mut ctx);
             apply::<N>(me, &mut ctx, &mut timers, &peers, &out_tx, epoch);

@@ -129,7 +129,7 @@ impl FrameBuffer {
         if pending.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(pending[0..4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
         if len > MAX_FRAME {
             return Err(self.poison("frame too large"));
         }

@@ -64,6 +64,11 @@ const MAX_OUTBOUND_FRAMES: usize = 16 * 1024;
 /// capacity the pusher blocks until the flusher drains — the transport's
 /// backpressure. The flusher thread blocks on `ready` and takes
 /// *everything* pending in one batch, ordering lane first.
+///
+/// Lock poisoning is recovered, not propagated: the queue state (two
+/// deques and a flag) is valid after any partial mutation, and a panic in
+/// one node thread must not cascade into the flusher/reader threads of
+/// every peer sharing the mesh.
 struct PeerQueue<M> {
     state: Mutex<PeerQueueState<M>>,
     /// Signalled when work arrives or the queue closes (flusher waits).
@@ -110,9 +115,9 @@ impl<M: WireSize> PeerQueue<M> {
     /// is at capacity (backpressure from a slow peer reaches the node
     /// thread, as the old blocking write did). Dropped if closed.
     fn push(&self, msg: M) {
-        let mut s = self.state.lock().expect("peer queue poisoned");
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while !s.closed && s.len() >= self.capacity {
-            s = self.space.wait(s).expect("peer queue poisoned");
+            s = self.space.wait(s).unwrap_or_else(|e| e.into_inner());
         }
         if s.closed {
             return;
@@ -128,7 +133,7 @@ impl<M: WireSize> PeerQueue<M> {
     /// Marks the queue closed and wakes everyone (flusher and any pushers
     /// blocked on a full queue).
     fn close(&self) {
-        self.state.lock().expect("peer queue poisoned").closed = true;
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
         self.ready.notify_all();
         self.space.notify_all();
     }
@@ -137,7 +142,7 @@ impl<M: WireSize> PeerQueue<M> {
     /// takes the whole backlog: every ordering frame first, then every
     /// bulk frame. Returns `None` when closed and fully drained.
     fn next_batch(&self) -> Option<Vec<M>> {
-        let mut s = self.state.lock().expect("peer queue poisoned");
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if !s.ordering.is_empty() || !s.bulk.is_empty() {
                 let mut batch: Vec<M> = Vec::with_capacity(s.len());
@@ -150,7 +155,7 @@ impl<M: WireSize> PeerQueue<M> {
             if s.closed {
                 return None;
             }
-            s = self.ready.wait(s).expect("peer queue poisoned");
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -355,10 +360,17 @@ where
     pub fn start(n: usize, mut factory: impl FnMut(ProcessId) -> N) -> Self {
         assert!(n > 0, "need at least one process");
         // Bind one listener per process on an ephemeral port.
+        // Setup-time expects below are documented under `# Panics`: they run
+        // before any remote bytes exist, on loop-back sockets only, where a
+        // failure means local resource exhaustion and there is no
+        // connection to poison yet.
         let listeners: Vec<TcpListener> = (0..n)
+            // lint:allow(P1): bootstrap bind, documented panic, no remote input yet
             .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loop-back listener"))
             .collect();
-        let addrs: Vec<_> = listeners.iter().map(|l| l.local_addr().expect("local addr")).collect();
+        let addrs: Vec<_> =
+            // lint:allow(P1): bootstrap, documented panic, no remote input yet
+            listeners.iter().map(|l| l.local_addr().expect("local addr")).collect();
 
         // Writer side: from i to j (i != j), an outbound queue drained by a
         // flusher thread that owns the connected stream.
@@ -369,9 +381,12 @@ where
                 if i == j {
                     row.push(None);
                 } else {
+                    // lint:allow(P1): bootstrap connect, documented panic, no remote input yet
                     let mut stream = TcpStream::connect(addr).expect("connect to peer");
+                    // lint:allow(P1): bootstrap, documented panic, no remote input yet
                     stream.set_nodelay(true).expect("nodelay");
                     // Identify ourselves so the acceptor can route.
+                    // lint:allow(P1): bootstrap handshake, documented panic, no remote input yet
                     stream.write_all(&(i as u16).to_le_bytes()).expect("handshake");
                     let queue = Arc::new(PeerQueue::new());
                     let from = ProcessId::new(i as u16);
@@ -413,7 +428,9 @@ where
         let mut reader_handles = Vec::new();
         for (j, listener) in listeners.into_iter().enumerate() {
             for _ in 0..(n - 1) {
+                // lint:allow(P1): bootstrap accept, documented panic, no remote input yet
                 let (stream, _) = listener.accept().expect("accept peer connection");
+                // lint:allow(P1): bootstrap, documented panic, no remote input yet
                 stream.set_nodelay(true).expect("nodelay");
                 let inject = injectors[j].clone();
                 reader_handles.push(std::thread::spawn(move || {

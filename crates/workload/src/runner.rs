@@ -335,8 +335,8 @@ where
     let mut delivered_payload_pairs = 0u64;
     let mut delivered_payload_pairs_in_window = 0u64;
     // Ids broadcast in-window → payloads carried.
-    let mut expected: std::collections::HashMap<iabc_types::MsgId, u32> =
-        std::collections::HashMap::new();
+    let mut expected: std::collections::BTreeMap<iabc_types::MsgId, u32> =
+        std::collections::BTreeMap::new();
 
     // Fires one broadcast tick carrying process `p`'s pending payloads at
     // time `at` (no-op when nothing is pending) — the one place the
