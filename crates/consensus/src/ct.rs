@@ -226,6 +226,7 @@ impl<V: ConsensusValue, P: CtPolicy> CtMachine<V, P> {
             // Phase 1: send the current estimate to the round's coordinator
             // (rounds > 1 only; in round 1 the coordinator uses its own).
             if r > 1 {
+                // lint:allow(P1): local invariant, not remote data — propose() sets the estimate before any round is entered
                 let estimate = self.estimate.clone().expect("estimate set at propose");
                 out.sends
                     .push((ConsDest::To(c), ConsMsg::CtEstimate { round: r, estimate, ts: self.ts }));
@@ -235,6 +236,7 @@ impl<V: ConsensusValue, P: CtPolicy> CtMachine<V, P> {
                 if r == 1 {
                     // Phase 2, first round: propose our own estimate
                     // (Algorithm 2 line 20).
+                    // lint:allow(P1): local invariant, not remote data — propose() sets the estimate before round 1 starts
                     let proposal = self.estimate.clone().expect("estimate set at propose");
                     self.broadcast_proposal(proposal, out);
                     return;
@@ -282,6 +284,7 @@ impl<V: ConsensusValue, P: CtPolicy> CtMachine<V, P> {
         let (_, (value, _ts)) = received
             .iter()
             .max_by_key(|(sender, (_, ts))| (*ts, std::cmp::Reverse(**sender)))
+            // lint:allow(P1): unreachable — the quorum check above guarantees `received` is nonempty
             .expect("nonempty by quorum check");
         let selected = value.clone();
         if P::COORDINATOR_ADOPTS_SELECTION {
@@ -336,6 +339,7 @@ impl<V: ConsensusValue, P: CtPolicy> CtMachine<V, P> {
             return;
         }
         if self.acks.get(&r).is_some_and(|s| s.len() >= self.quorum()) {
+            // lint:allow(P1): local invariant, not remote data — broadcast_proposal() sets current_proposal before wait becomes CoordAcks
             let value = self.current_proposal.clone().expect("proposal set before Phase 4");
             self.decide(value, out);
         }

@@ -202,6 +202,7 @@ impl<V: ConsensusValue, P: MrPolicy> MrMachine<V, P> {
             if c == self.me {
                 // Phase 1, coordinator: broadcast the estimate (lines 10–12),
                 // which is also our own Phase 2 echo (line 20).
+                // lint:allow(P1): local invariant, not remote data — propose() sets the estimate before any round is entered
                 let est = self.estimate.clone().expect("estimate set at propose");
                 out.sends.push((ConsDest::Others, ConsMsg::MrPhase1 { round: r, estimate: est.clone() }));
                 self.echo(Some(est), out);

@@ -374,6 +374,7 @@ impl OrderingValue for MsgSet {
         MsgSet::from_msgs(unordered.iter().map(|id| {
             store
                 .get(id)
+                // lint:allow(P1): rcv predicate — ids enter `unordered` only after their payload is stored (maybe_propose gates on held_in)
                 .expect("unordered ids always have payloads in the store")
                 .clone()
         }))

@@ -11,10 +11,19 @@
 //! |------|--------|
 //! | `D1` | wall clock / ambient randomness in sim-reachable crates |
 //! | `D2` | `HashMap`/`HashSet` (nondeterministic iteration order) in sim-reachable crates |
-//! | `P1` | `unwrap`/`expect`/`panic!`-family in the remote-input `net` crate |
+//! | `P1` | `unwrap`/`expect`/`panic!`-family in the remote-input `net` crate, *and* in any workspace function reachable from it through the call graph |
 //! | `W1` | wildcard `_ =>` arms in matches over wire enums |
+//! | `W2` | narrowing or float→int `as`-casts on wire-facing integers in `types`/`net` without a visible bound check |
+//! | `O1` | inconsistent lock acquisition order across the workspace (static deadlock detector) |
+//! | `B1` | blocking I/O / sleeps / cross-object waits while a `.lock()` guard is live |
 //! | `L1` | crate-layering violations in `Cargo.toml` dependencies |
 //! | `A1` | malformed `lint:allow` annotations (reason is mandatory) |
+//!
+//! D1/D2/P1/W1/W2 are token-level per-file rules; O1/B1 and the
+//! call-graph half of P1 are flow-aware: a lightweight item/block parser
+//! ([`parser`]) recovers function bodies and lock-guard scopes, and a
+//! name-resolved call graph ([`callgraph`]) propagates lock-acquisition
+//! and may-block facts across files ([`flow`]).
 //!
 //! Escape hatch: `// lint:allow(<rule>): <reason>` on the offending line
 //! or the line above. The reason is mandatory — an allow without one is
@@ -25,16 +34,23 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 mod findings;
+pub mod flow;
 mod layering;
 mod lexer;
+pub mod parser;
 mod rules;
 
-pub use findings::{Finding, Report};
+pub use findings::{assign_ids, baseline_ids, Finding, Report};
+pub use flow::analyze_files;
 pub use layering::{check_crate_deps, package_name, parse_dependencies, Dep, LAYERS};
 pub use lexer::{tokenize, Token, TokenKind};
-pub use rules::{lint_source, DETERMINISTIC_CRATES, REMOTE_INPUT_CRATES, RULES, WIRE_ENUMS};
+pub use rules::{
+    lint_source, DETERMINISTIC_CRATES, REMOTE_INPUT_CRATES, RULES, WIRE_CRATES, WIRE_ENUMS,
+};
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Walks up from `start` to the workspace root (the first ancestor whose
@@ -54,8 +70,10 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Runs every rule over the workspace at `root`: all `crates/*/src/**/*.rs`
-/// files (D1/D2/P1/W1 + allow hygiene) and all `crates/*/Cargo.toml`
-/// manifests (L1).
+/// files (D1/D2/P1/W1/W2 + allow hygiene), the workspace-level flow rules
+/// (O1/B1 and call-graph P1) over the same set, and all
+/// `crates/*/Cargo.toml` manifests (L1). Stable finding ids are assigned
+/// before the report is returned.
 ///
 /// # Errors
 ///
@@ -72,6 +90,8 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
     // standard.
     crate_dirs.sort();
 
+    let mut manifests: BTreeMap<String, String> = BTreeMap::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for crate_dir in crate_dirs {
         // L1 over the manifest.
         let manifest_path = crate_dir.join("Cargo.toml");
@@ -81,9 +101,11 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
                 let deps = parse_dependencies(&manifest);
                 report.findings.extend(check_crate_deps(&pkg, &rel, &deps));
                 report.files_scanned += 1;
+                manifests.insert(rel, manifest);
             }
         }
-        // Source rules over src/**/*.rs.
+        // Collect src/**/*.rs once; both the per-file and the
+        // workspace-level rules run over the same snapshot.
         let src_dir = crate_dir.join("src");
         if src_dir.is_dir() {
             let mut files = Vec::new();
@@ -91,15 +113,27 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
             files.sort();
             for file in files {
                 let source = std::fs::read_to_string(&file)?;
-                let rel = rel_path(root, &file);
-                report.findings.extend(lint_source(&rel, &source));
+                sources.push((rel_path(root, &file), source));
                 report.files_scanned += 1;
             }
         }
     }
+    for (rel, source) in &sources {
+        report.findings.extend(lint_source(rel, source));
+    }
+    report.findings.extend(flow::analyze_files(&sources));
+
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    let source_of = |path: &str| -> Option<String> {
+        sources
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, s)| s.clone())
+            .or_else(|| manifests.get(path).cloned())
+    };
+    assign_ids(&mut report.findings, &source_of);
     Ok(report)
 }
 

@@ -25,8 +25,13 @@ pub const REMOTE_INPUT_CRATES: &[&str] = &["net"];
 /// explicitly, not silently defaulted (e.g. into the Bulk traffic class).
 pub const WIRE_ENUMS: &[&str] = &["Envelope", "ConsMsg", "BcastMsg", "FdMsg"];
 
+/// Crates whose integers can end up on the wire: narrowing `as`-casts are
+/// forbidden here (rule W2) — a silently truncated length or id corrupts
+/// the frame for every peer.
+pub const WIRE_CRATES: &[&str] = &["types", "net"];
+
 /// All checkable rule names (used to validate `lint:allow` annotations).
-pub const RULES: &[&str] = &["D1", "D2", "P1", "W1", "L1"];
+pub const RULES: &[&str] = &["D1", "D2", "P1", "W1", "W2", "O1", "B1", "L1"];
 
 /// Lints one Rust source file. `rel_path` must be workspace-relative
 /// (e.g. `crates/net/src/tcp.rs`) — rule scoping is derived from the
@@ -58,6 +63,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
         rule_p1(rel_path, &code, &mut findings);
     }
     rule_w1(rel_path, &code, &mut findings);
+    if crate_name.is_some_and(|c| WIRE_CRATES.contains(&c)) {
+        rule_w2(rel_path, &tokens, &mut findings);
+    }
 
     findings.retain(|f| !allows.suppresses(&f.rule, f.line));
     findings.sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
@@ -66,7 +74,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
 }
 
 /// The `<name>` of a `crates/<name>/...` path, if any.
-fn crate_of(rel_path: &str) -> Option<&str> {
+pub(crate) fn crate_of(rel_path: &str) -> Option<&str> {
     let rest = rel_path.strip_prefix("crates/")?;
     rest.split('/').next()
 }
@@ -80,7 +88,7 @@ struct Malformed {
     message: String,
 }
 
-struct Allows {
+pub(crate) struct Allows {
     /// (rule, line-of-annotation) pairs. An allow suppresses findings of
     /// that rule on its own line (trailing comment) and on the next line
     /// (annotation on its own line above the code).
@@ -89,7 +97,7 @@ struct Allows {
 }
 
 impl Allows {
-    fn suppresses(&self, rule: &str, line: usize) -> bool {
+    pub(crate) fn suppresses(&self, rule: &str, line: usize) -> bool {
         self.allowed
             .iter()
             .any(|(r, l)| r == rule && (line == *l || line == *l + 1))
@@ -98,7 +106,7 @@ impl Allows {
 
 /// Extracts `lint:allow(<rule>): <reason>` annotations from comments. The
 /// reason is mandatory: an allow without one is reported and ignored.
-fn collect_allows(tokens: &[Token]) -> Allows {
+pub(crate) fn collect_allows(tokens: &[Token]) -> Allows {
     let mut allows = Allows { allowed: Vec::new(), malformed: Vec::new() };
     for t in tokens {
         if t.kind != TokenKind::Comment {
@@ -452,6 +460,168 @@ fn rule_w1(rel_path: &str, code: &[&Token], findings: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// W2 — narrowing `as`-casts on wire-facing integers
+// ---------------------------------------------------------------------
+
+/// Targets that can silently drop high bits from the usize/u64 values the
+/// codec traffics in.
+const NARROW_INT_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+/// All integer targets — relevant when the operand is a float expression
+/// (float→int `as` saturates/truncates silently at any width).
+const INT_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+/// Operand-chain evidence that the cast source is a float.
+const FLOAT_EVIDENCE: &[&str] = &["f32", "f64", "round", "ceil", "floor", "trunc"];
+/// Operand-chain methods that clamp the value — counted as a guard.
+const CLAMPING_METHODS: &[&str] = &["min", "max", "clamp", "rem_euclid"];
+
+fn rule_w2(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let code = crate::parser::code_tokens(tokens);
+    for item in crate::parser::parse(&code) {
+        if item.cfg_test {
+            continue;
+        }
+        let Some((open, close)) = item.body else { continue };
+        for k in open + 1..close {
+            if !code[k].is_ident("as") {
+                continue;
+            }
+            let Some(target) = code.get(k + 1) else { continue };
+            if target.kind != TokenKind::Ident {
+                continue;
+            }
+            let ty = target.text.as_str();
+            if !INT_TARGETS.contains(&ty) {
+                continue;
+            }
+            let chain = operand_chain_idents(&code, k, open);
+            let float_source = chain.iter().any(|c| FLOAT_EVIDENCE.contains(&c.as_str()));
+            let narrowing = NARROW_INT_TARGETS.contains(&ty);
+            if !narrowing && !float_source {
+                continue;
+            }
+            if cast_is_guarded(&code, open, k, &chain) {
+                continue;
+            }
+            let msg = if float_source {
+                format!(
+                    "float→int `as {ty}` saturates/truncates silently — guard the range \
+                     explicitly (compare against `{ty}::MAX`) or prove the bound and \
+                     annotate `lint:allow(W2): <bound>`"
+                )
+            } else {
+                format!(
+                    "narrowing `as {ty}` cast on a wire-facing value silently drops high \
+                     bits and corrupts the frame for every peer — use `{ty}::try_from` \
+                     with an error path, or prove the bound and annotate \
+                     `lint:allow(W2): <bound>`"
+                )
+            };
+            findings.push(Finding::new("W2", rel_path, code[k].line, msg));
+        }
+    }
+}
+
+/// Identifiers participating in the postfix operand expression of an `as`
+/// cast at `as_idx`, collected by walking left: closing delimiters skip to
+/// their opener (collecting inner idents on the way), identifier/`.`/`::`
+/// runs continue the chain, and any other token ends it.
+fn operand_chain_idents(code: &[&Token], as_idx: usize, floor: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut j = as_idx;
+    while j > floor + 1 {
+        let prev = &code[j - 1];
+        match prev.text.as_str() {
+            ")" | "]" => {
+                // Skip (and harvest) the delimited group.
+                let mut depth = 0usize;
+                let mut m = j - 1;
+                loop {
+                    match code[m].text.as_str() {
+                        ")" | "]" | "}" => depth += 1,
+                        "(" | "[" | "{" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {
+                            if code[m].kind == TokenKind::Ident {
+                                idents.push(code[m].text.clone());
+                            }
+                        }
+                    }
+                    if m == floor {
+                        break;
+                    }
+                    m -= 1;
+                }
+                j = m;
+                continue;
+            }
+            "." | "::" => {
+                j -= 1;
+                continue;
+            }
+            _ => {}
+        }
+        if prev.kind == TokenKind::Ident {
+            idents.push(prev.text.clone());
+            j -= 1;
+            continue;
+        }
+        break;
+    }
+    idents
+}
+
+/// Heuristic bound-check detection: the cast counts as guarded when the
+/// operand chain itself clamps (`.min(…)`, `.clamp(…)`, `try_from`), or
+/// when an earlier token in the same function compares one of the
+/// operand's identifiers (`x < LIMIT`, `assert!(n <= u16::MAX …)`). This
+/// errs toward trusting a visible comparison — the reviewer-facing signal
+/// — and `lint:allow(W2)` documents anything subtler.
+fn cast_is_guarded(code: &[&Token], body_open: usize, as_idx: usize, chain: &[String]) -> bool {
+    if chain
+        .iter()
+        .any(|c| CLAMPING_METHODS.contains(&c.as_str()) || c == "try_from")
+    {
+        return true;
+    }
+    // Identifiers that can meaningfully appear in a bound comparison:
+    // drop `self` (ubiquitous) and primitive type names.
+    let meaningful: Vec<&str> = chain
+        .iter()
+        .map(String::as_str)
+        .filter(|c| *c != "self" && !INT_TARGETS.contains(c) && !FLOAT_EVIDENCE.contains(c))
+        .collect();
+    if meaningful.is_empty() {
+        return false;
+    }
+    for j in body_open + 1..as_idx {
+        if !(code[j].is_punct("<") || code[j].is_punct(">")) {
+            continue;
+        }
+        let left_hit = code
+            .get(j.wrapping_sub(1))
+            .is_some_and(|t| t.kind == TokenKind::Ident && meaningful.contains(&t.text.as_str()));
+        // The right operand may start with `=` (`<=`, `>=` lex as two
+        // tokens) or a path prefix.
+        let mut r = j + 1;
+        if code.get(r).is_some_and(|t| t.is_punct("=")) {
+            r += 1;
+        }
+        let right_hit = code
+            .get(r)
+            .is_some_and(|t| t.kind == TokenKind::Ident && meaningful.contains(&t.text.as_str()));
+        if left_hit || right_hit {
+            return true;
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +688,51 @@ mod tests {\n\
         let f = lint_source("crates/net/src/x.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn w2_flags_unguarded_narrowing_in_wire_crates() {
+        let src = "fn f(len: usize, buf: &mut Vec<u8>) { buf.push(len as u8); }\n";
+        let f = lint_source("crates/types/src/x.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "W2").count(), 1, "{f:?}");
+        // Same code outside the wire crates is quiet.
+        assert!(lint_source("crates/sim/src/x.rs", src).iter().all(|f| f.rule != "W2"));
+        // And in test code.
+        let test_src = "#[cfg(test)]\nmod tests { fn f(n: usize) -> u8 { n as u8 } }\n";
+        assert!(lint_source("crates/types/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn w2_accepts_guarded_and_clamped_casts() {
+        // Explicit comparison on the operand before the cast.
+        let guarded = "\
+fn f(body_len: usize) -> u32 {\n\
+    if body_len > MAX_FRAME { return 0; }\n\
+    body_len as u32\n\
+}\n";
+        assert!(lint_source("crates/net/src/x.rs", guarded).is_empty());
+        // Clamped chain.
+        let clamped = "fn f(n: u64) -> u16 { n.min(65535) as u16 }\n";
+        assert!(lint_source("crates/types/src/x.rs", clamped).is_empty());
+        // Assert-style guard.
+        let asserted = "fn f(ns: f64) -> u64 { assert!(ns <= MAX_NS); ns.round() as u64 }\n";
+        assert!(lint_source("crates/types/src/x.rs", asserted).is_empty());
+        // A reasoned allow.
+        let allowed = "\
+fn f(b: bool, buf: &mut Vec<u8>) {\n\
+    buf.push(b as u8); // lint:allow(W2): bool is 0 or 1, always fits\n\
+}\n";
+        assert!(lint_source("crates/types/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn w2_flags_unguarded_float_to_int_at_any_width() {
+        let src = "fn f(x: f64) -> u64 { (x * 2.0).round() as u64 }\n";
+        let f = lint_source("crates/types/src/x.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "W2").count(), 1, "{f:?}");
+        // Widening int→int at u64 stays quiet (no float evidence).
+        let widen = "fn f(x: u32) -> u64 { x as u64 }\n";
+        assert!(lint_source("crates/types/src/x.rs", widen).is_empty());
     }
 
     #[test]

@@ -1,0 +1,24 @@
+// Fixture: rule B1 must fire — blocking I/O while the queue guard is
+// live, both directly (`flush_locked`) and through a call
+// (`flush_via_helper`). Analyzed as `crates/net/src/fixture.rs`.
+use std::io::Write;
+
+pub struct Flusher {
+    state: std::sync::Mutex<Vec<u8>>,
+}
+
+impl Flusher {
+    pub fn flush_locked(&self, stream: &mut std::net::TcpStream) {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        stream.write_all(&s).ok();
+    }
+
+    pub fn flush_via_helper(&self, stream: &mut std::net::TcpStream) {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.helper(stream, &s);
+    }
+
+    fn helper(&self, stream: &mut std::net::TcpStream, bytes: &[u8]) {
+        stream.write_all(bytes).ok();
+    }
+}

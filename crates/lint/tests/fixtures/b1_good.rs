@@ -1,0 +1,38 @@
+// Fixture: rule B1 must stay quiet — the batch is moved out under the
+// guard, the guard is dropped (explicitly or by scope), and only then
+// does the write happen. The condvar wait releases its own guard's lock,
+// so it is not a hold-while-blocking hazard either. Analyzed as
+// `crates/net/src/fixture.rs`.
+use std::io::Write;
+
+pub struct Flusher {
+    state: std::sync::Mutex<Vec<u8>>,
+    ready: std::sync::Condvar,
+}
+
+impl Flusher {
+    pub fn flush_after_drop(&self, stream: &mut std::net::TcpStream) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let batch = std::mem::take(&mut *s);
+        drop(s);
+        stream.write_all(&batch).ok();
+    }
+
+    pub fn flush_after_scope(&self, stream: &mut std::net::TcpStream) {
+        let batch = {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *s)
+        };
+        stream.write_all(&batch).ok();
+    }
+
+    pub fn next_batch(&self) -> Vec<u8> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !s.is_empty() {
+                return std::mem::take(&mut *s);
+            }
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: rule O1 must fire — a genuine two-lock order inversion across
+// two functions. `drain` takes `pending` then `flushing`; `requeue` takes
+// them in the opposite order, so a thread in each can deadlock. Analyzed
+// as `crates/net/src/fixture.rs` through `analyze_files`.
+pub struct Queues {
+    pending: std::sync::Mutex<Vec<u8>>,
+    flushing: std::sync::Mutex<Vec<u8>>,
+}
+
+impl Queues {
+    pub fn drain(&self) {
+        let mut p = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        let mut f = self.flushing.lock().unwrap_or_else(|e| e.into_inner());
+        f.append(&mut p);
+    }
+
+    pub fn requeue(&self) {
+        let mut f = self.flushing.lock().unwrap_or_else(|e| e.into_inner());
+        let mut p = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        p.append(&mut f);
+    }
+}

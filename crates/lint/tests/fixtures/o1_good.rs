@@ -1,0 +1,25 @@
+// Fixture: rule O1 must stay quiet — every path takes `pending` before
+// `flushing` (one canonical order), including a nested acquisition that
+// happens through a call. Analyzed as `crates/net/src/fixture.rs`.
+pub struct Queues {
+    pending: std::sync::Mutex<Vec<u8>>,
+    flushing: std::sync::Mutex<Vec<u8>>,
+}
+
+impl Queues {
+    pub fn drain(&self) {
+        let mut p = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        let mut f = self.flushing.lock().unwrap_or_else(|e| e.into_inner());
+        f.append(&mut p);
+    }
+
+    pub fn requeue(&self) {
+        let mut p = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        self.take_flushing(&mut p);
+    }
+
+    fn take_flushing(&self, p: &mut Vec<u8>) {
+        let mut f = self.flushing.lock().unwrap_or_else(|e| e.into_inner());
+        p.append(&mut f);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: rule W2 must fire — unguarded narrowing casts on wire-facing
+// values, and an unguarded float→int cast. Linted as
+// `crates/types/src/fixture.rs`.
+pub fn encode_len(len: usize, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+}
+
+pub fn tag_of(id: u64) -> u8 {
+    id as u8
+}
+
+pub fn to_nanos(secs: f64) -> u64 {
+    (secs * 1e9).round() as u64
+}

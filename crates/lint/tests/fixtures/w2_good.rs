@@ -1,0 +1,32 @@
+// Fixture: rule W2 must stay quiet — every narrowing conversion is either
+// checked (`try_from`), visibly bounded before the cast, clamped in the
+// cast chain, or carries a reasoned allow. Linted as
+// `crates/types/src/fixture.rs`.
+pub fn encode_len(len: usize, buf: &mut Vec<u8>) -> bool {
+    let Ok(prefix) = u32::try_from(len) else { return false };
+    buf.extend_from_slice(&prefix.to_le_bytes());
+    true
+}
+
+pub fn bounded_len(body_len: usize, max_frame: usize, buf: &mut Vec<u8>) {
+    if body_len > max_frame {
+        return;
+    }
+    buf.extend_from_slice(&(body_len as u32).to_le_bytes());
+}
+
+pub fn clamped_tag(id: u64) -> u8 {
+    id.min(255) as u8
+}
+
+pub fn to_nanos(secs: f64) -> u64 {
+    assert!(secs <= MAX_SECS);
+    (secs * 1e9).round() as u64
+}
+
+pub fn flag_byte(b: bool) -> u8 {
+    // lint:allow(W2): bool is 0 or 1, always fits in u8
+    b as u8
+}
+
+const MAX_SECS: f64 = 1e9;

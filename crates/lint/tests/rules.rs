@@ -3,7 +3,15 @@
 //! source text fed through `lint_source` with a synthetic in-scope path —
 //! they are not compiled.
 
-use iabc_lint::{check_crate_deps, lint_source, package_name, parse_dependencies, Finding};
+use iabc_lint::{
+    analyze_files, check_crate_deps, lint_source, package_name, parse_dependencies, Finding,
+};
+
+/// Run the flow rules (O1/B1/P1-transitive) over one fixture as if it
+/// lived at `path` inside the workspace.
+fn flow_findings(path: &str, source: &str) -> Vec<Finding> {
+    analyze_files(&[(path.to_string(), source.to_string())])
+}
 
 fn rules_of(findings: &[Finding]) -> Vec<&str> {
     findings.iter().map(|f| f.rule.as_str()).collect()
@@ -91,6 +99,68 @@ fn w1_bad_fires() {
 #[test]
 fn w1_good_is_quiet() {
     let f = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/w1_good.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- W2: narrowing casts in wire crates --------------------------------
+
+#[test]
+fn w2_bad_fires() {
+    let f = lint_source("crates/types/src/fixture.rs", include_str!("fixtures/w2_bad.rs"));
+    assert_only_rule(&f, "W2");
+    // len as u32, id as u8, and the unguarded float→int cast.
+    assert_eq!(f.len(), 3, "{f:?}");
+}
+
+#[test]
+fn w2_good_is_quiet() {
+    let f = lint_source("crates/types/src/fixture.rs", include_str!("fixtures/w2_good.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn w2_out_of_scope_is_quiet() {
+    // The same casts outside the wire crates are not W2's business.
+    let f = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/w2_bad.rs"));
+    assert!(f.iter().all(|f| f.rule != "W2"), "{f:?}");
+}
+
+// --- O1: lock-order inversion ------------------------------------------
+
+#[test]
+fn o1_bad_fires() {
+    let f = flow_findings("crates/net/src/fixture.rs", include_str!("fixtures/o1_bad.rs"));
+    assert_only_rule(&f, "O1");
+    // One finding at each side of the inversion.
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(
+        f.iter().any(|f| f.message.contains("pending")) && f.iter().any(|f| f.message.contains("flushing")),
+        "messages should name both locks: {f:?}"
+    );
+}
+
+#[test]
+fn o1_good_is_quiet() {
+    // Consistent canonical order, including an acquisition through a call.
+    let f = flow_findings("crates/net/src/fixture.rs", include_str!("fixtures/o1_good.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- B1: blocking while holding a guard --------------------------------
+
+#[test]
+fn b1_bad_fires() {
+    let f = flow_findings("crates/net/src/fixture.rs", include_str!("fixtures/b1_bad.rs"));
+    assert_only_rule(&f, "B1");
+    // The direct write under the guard, and the call into a helper that blocks.
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn b1_good_is_quiet() {
+    // Guard dropped (explicitly or by scope) before the write; the condvar
+    // wait releases its own guard's lock.
+    let f = flow_findings("crates/net/src/fixture.rs", include_str!("fixtures/b1_good.rs"));
     assert!(f.is_empty(), "{f:?}");
 }
 

@@ -5,13 +5,16 @@
 
 use std::path::Path;
 
-#[test]
-fn workspace_is_lint_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
-        .expect("crates/lint has a workspace two levels up");
-    let report = iabc_lint::run_workspace(root).expect("workspace scan");
+        .expect("crates/lint has a workspace two levels up")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = iabc_lint::run_workspace(workspace_root()).expect("workspace scan");
     assert!(report.files_scanned > 0, "scan found no files — wrong root?");
     assert!(
         report.is_clean(),
@@ -23,4 +26,35 @@ fn workspace_is_lint_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+#[test]
+fn all_rules_are_enabled() {
+    // The clean run above only means something if the full rule set is on.
+    // Guard against a rule being dropped from the registry.
+    for rule in ["D1", "D2", "P1", "W1", "W2", "O1", "B1", "L1"] {
+        assert!(
+            iabc_lint::RULES.contains(&rule),
+            "rule {rule} missing from RULES — workspace_is_lint_clean no longer covers it"
+        );
+    }
+}
+
+#[test]
+fn workspace_findings_get_stable_ids() {
+    // Every finding the scanner could emit must carry a content-hash id,
+    // or `--baseline` delta mode silently stops matching. The workspace is
+    // clean, so exercise the id path on a synthetic finding instead.
+    let src = "pub fn f(x: u64) -> u8 { x as u8 }\n";
+    let mut findings = iabc_lint::lint_source("crates/types/src/fixture.rs", src);
+    assert!(!findings.is_empty(), "fixture should produce a W2 finding");
+    iabc_lint::assign_ids(&mut findings, &|path| {
+        (path == "crates/types/src/fixture.rs").then(|| src.to_string())
+    });
+    for f in &findings {
+        assert!(
+            f.id.starts_with(&format!("{}-", f.rule)),
+            "finding id should be rule-prefixed: {f:?}"
+        );
+    }
 }

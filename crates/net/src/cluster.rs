@@ -80,6 +80,9 @@ where
     /// Panics if `n == 0`.
     pub fn start(n: usize, mut factory: impl FnMut(ProcessId) -> N) -> Self {
         assert!(n > 0, "need at least one process");
+        // Process ids travel as u16 on the wire; the cast below is bounded
+        // by this assert.
+        assert!(n <= usize::from(u16::MAX) + 1, "process ids are u16 on the wire");
         let epoch = Instant::now();
         let (out_tx, out_rx) = unbounded();
         let channels: Vec<(Sender<_>, Receiver<_>)> = (0..n).map(|_| unbounded()).collect();
@@ -87,6 +90,7 @@ where
 
         let mut handles = Vec::with_capacity(n);
         for (i, (_, rx)) in channels.into_iter().enumerate() {
+            // lint:allow(W2): i < n and start() asserts n fits in u16
             let me = ProcessId::new(i as u16);
             let node = factory(me);
             let peers = inputs.clone();

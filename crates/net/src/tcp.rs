@@ -15,6 +15,21 @@
 //! with a single `write_all`. Under load this coalesces many frames per
 //! syscall and keeps consensus traffic from queueing behind payload
 //! floods inside the transport, mirroring the simulator's priority lane.
+//!
+//! # Lock discipline
+//!
+//! Each [`PeerQueue`] owns exactly one `Mutex` (its lane state) plus the
+//! condvar that pairs with it; no code path in this module ever holds two
+//! queue locks at once (queues belong to distinct connections and never
+//! reference each other), so there is no acquisition order to get wrong.
+//! The rule that *does* carry weight: **no socket I/O while a queue guard
+//! is live.** The flusher takes the lock only to swap the batch out
+//! (`next_batch`), drops the guard, and then encodes and `write_all`s from
+//! thread-local buffers — a stalled peer therefore blocks only its own
+//! flusher thread, never a node thread trying to `push`. Condvar waits
+//! release the queue lock for the duration of the wait and are the one
+//! sanctioned way to block with a guard in scope. `iabc-lint` enforces
+//! this mechanically (rules `O1` and `B1`).
 
 use std::collections::VecDeque;
 use std::io::Write;
@@ -359,6 +374,9 @@ where
     /// this indicates local resource exhaustion).
     pub fn start(n: usize, mut factory: impl FnMut(ProcessId) -> N) -> Self {
         assert!(n > 0, "need at least one process");
+        // Process ids travel as u16 in the handshake and frame tags; every
+        // `i as u16` below is bounded by this assert.
+        assert!(n <= usize::from(u16::MAX) + 1, "process ids are u16 on the wire");
         // Bind one listener per process on an ephemeral port.
         // Setup-time expects below are documented under `# Panics`: they run
         // before any remote bytes exist, on loop-back sockets only, where a
@@ -386,9 +404,10 @@ where
                     // lint:allow(P1): bootstrap, documented panic, no remote input yet
                     stream.set_nodelay(true).expect("nodelay");
                     // Identify ourselves so the acceptor can route.
-                    // lint:allow(P1): bootstrap handshake, documented panic, no remote input yet
+                    // lint:allow(P1): bootstrap handshake, documented panic, no remote input yet — lint:allow(W2): i < n and start() asserts n fits in u16
                     stream.write_all(&(i as u16).to_le_bytes()).expect("handshake");
                     let queue = Arc::new(PeerQueue::new());
+                    // lint:allow(W2): i < n and start() asserts n fits in u16
                     let from = ProcessId::new(i as u16);
                     let flusher_queue = Arc::clone(&queue);
                     flusher_handles.push(std::thread::spawn(move || {
@@ -413,6 +432,7 @@ where
         let injectors: Vec<Sender<(ProcessId, N::Msg)>> = (0..n)
             .map(|j| {
                 let (tx, rx) = unbounded::<(ProcessId, N::Msg)>();
+                // lint:allow(W2): j < n and start() asserts n fits in u16
                 let inner_tx = inner.message_injector(ProcessId::new(j as u16));
                 std::thread::spawn(move || {
                     while let Ok((from, msg)) = rx.recv() {

@@ -165,7 +165,7 @@ impl WireSize for IdSet {
 
 impl Encode for IdSet {
     fn encode(&self, buf: &mut Vec<u8>) {
-        (self.ids.len() as u32).encode(buf);
+        crate::wire::encode_len_prefix(self.ids.len(), buf);
         for id in &self.ids {
             id.encode(buf);
         }

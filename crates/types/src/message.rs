@@ -152,7 +152,7 @@ impl WireSize for Payload {
 
 impl Encode for Payload {
     fn encode(&self, buf: &mut Vec<u8>) {
-        (self.0.len() as u32).encode(buf);
+        crate::wire::encode_len_prefix(self.0.len(), buf);
         buf.extend_from_slice(&self.0);
     }
 }

@@ -60,9 +60,11 @@ impl ProcessId {
         ProcessId((r % n as u64) as u16)
     }
 
-    /// Iterator over all process ids of a system of size `n`.
+    /// Iterator over all process ids of a system of size `n`. Ids are
+    /// `u16` on the wire, so `n` saturates at `u16::MAX + 1` processes —
+    /// far past any configuration the transports accept.
     pub fn all(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
-        (0..n as u16).map(ProcessId)
+        (0..u16::try_from(n).unwrap_or(u16::MAX)).map(ProcessId)
     }
 }
 

@@ -100,7 +100,15 @@ impl Duration {
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> Duration {
         assert!(factor.is_finite() && factor >= 0.0, "invalid factor: {factor}");
-        Duration((self.0 as f64 * factor).round() as u64)
+        // Explicit saturation at u64::MAX nanoseconds (~584 years). A bare
+        // float→int `as` would saturate too, but silently; this spells the
+        // bound out.
+        let scaled = (self.0 as f64 * factor).round();
+        if scaled >= u64::MAX as f64 {
+            Duration(u64::MAX)
+        } else {
+            Duration(scaled as u64)
+        }
     }
 }
 

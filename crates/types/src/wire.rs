@@ -128,7 +128,10 @@ macro_rules! impl_codec_for_int {
                     }
                     let (head, rest) = buf.split_at(N);
                     *buf = rest;
-                    Ok(<$ty>::from_le_bytes(head.try_into().expect("split_at returns N bytes")))
+                    match head.try_into() {
+                        Ok(bytes) => Ok(<$ty>::from_le_bytes(bytes)),
+                        Err(_) => Err(CodecError::Truncated { need: N, have: head.len() }),
+                    }
                 }
             }
         )*
@@ -145,7 +148,7 @@ impl WireSize for bool {
 
 impl Encode for bool {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.push(*self as u8);
+        buf.push(u8::from(*self));
     }
 }
 
@@ -193,9 +196,18 @@ impl<T: WireSize> WireSize for Vec<T> {
     }
 }
 
+/// Encodes a container length as the canonical 4-byte little-endian wire
+/// prefix without a truncating cast. Saturates at `u32::MAX`: a length
+/// that large cannot reach the wire anyway (the frame writer rejects
+/// bodies over `MAX_FRAME`, 16 MiB), so saturation is unobservable — but
+/// unlike `as u32` it is explicit and total.
+pub(crate) fn encode_len_prefix(len: usize, buf: &mut Vec<u8>) {
+    u32::try_from(len).unwrap_or(u32::MAX).encode(buf);
+}
+
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
-        (self.len() as u32).encode(buf);
+        encode_len_prefix(self.len(), buf);
         for item in self {
             item.encode(buf);
         }
