@@ -1,0 +1,208 @@
+//! Prices the decided-log / catch-up machinery on a healthy cluster: the
+//! static `W = 8, B = 16` pipeline swept across offered loads with catch-up
+//! off (the paper's wire format, byte for byte) and on (every process logs
+//! each fully a-delivered instance and piggybacks its decided frontier on
+//! existing frames).
+//!
+//! Recovery itself is exercised by the fault-injecting integration tests
+//! (`tests/recovery.rs`, `tests/real_runtimes.rs`); what a *benchmark* can
+//! pin down is the failure-free overhead — the cost every deployment pays
+//! all the time for the ability to catch up after a crash. That cost must
+//! stay negligible: the `catch_up_on` rows must deliver everything the off
+//! rows do, at goodput within a few percent, with the start-up frontier
+//! probe as the only catch-up traffic of the whole run.
+//!
+//! Output: a text table on stdout and machine-readable JSON in
+//! `results/BENCH_recovery_sweep.json` (same line-per-point layout as the
+//! other sweeps, so `bench_trend` gates it against the committed baseline).
+//! Run with `--smoke` for the scaled-down CI grid — a subset of the full
+//! grid, so every smoke row matches a committed baseline row.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use iabc_bench::recovery_sweep_spec;
+use iabc_core::{ConsensusFamily, CostModel, RbKind, VariantKind};
+use iabc_sim::NetworkParams;
+use iabc_types::Duration;
+use iabc_workload::run_variant;
+
+/// The static pipeline the sweep runs (mid-grid, below the B=1 knee).
+const WINDOW: usize = 8;
+const BATCH: usize = 16;
+
+/// One measured grid point.
+struct RecoveryPoint {
+    /// `"catch_up_off"` or `"catch_up_on"`.
+    mode: &'static str,
+    offered_per_sec: f64,
+    delivered_per_sec: f64,
+    mean_ms: f64,
+    missing_pairs: u64,
+    saturated: bool,
+    catch_up_requests: u64,
+    caught_up_entries: u64,
+    min_decided_frontier: u64,
+}
+
+fn measure(n: usize, offered: f64, payload: usize, duration: Duration, on: bool) -> RecoveryPoint {
+    let spec = recovery_sweep_spec(n, offered, payload, duration, on);
+    let r = run_variant(
+        VariantKind::Indirect,
+        ConsensusFamily::Ct,
+        RbKind::EagerN2,
+        &NetworkParams::setup1(),
+        CostModel::setup1(),
+        &spec,
+    );
+    RecoveryPoint {
+        mode: if on { "catch_up_on" } else { "catch_up_off" },
+        offered_per_sec: offered,
+        delivered_per_sec: r.goodput_per_sec(n),
+        mean_ms: r.mean_ms(),
+        missing_pairs: r.missing_pairs,
+        saturated: r.saturated,
+        catch_up_requests: r.catch_up_requests,
+        caught_up_entries: r.caught_up_entries,
+        min_decided_frontier: r.min_decided_frontier,
+    }
+}
+
+fn write_json(path: &Path, n: usize, payload: usize, points: &[RecoveryPoint]) {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"recovery_sweep\",");
+    let _ = writeln!(out, "  \"stack\": \"indirect-ct static W={WINDOW} B={BATCH}\",");
+    let _ = writeln!(out, "  \"n\": {n},");
+    let _ = writeln!(out, "  \"payload_bytes\": {payload},");
+    let _ = writeln!(out, "  \"network\": \"setup1\",");
+    let _ = writeln!(out, "  \"cost_model\": \"setup1\",");
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        // `window`/`batch` keep the bench_trend line format; together with
+        // `mode` and `offered_per_sec` they key each row uniquely.
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"window\": {WINDOW}, \"batch\": {BATCH}, \
+             \"offered_per_sec\": {:.1}, \"delivered_per_sec\": {:.1}, \"mean_ms\": {:.3}, \
+             \"missing_pairs\": {}, \"saturated\": {}, \"catch_up_requests\": {}, \
+             \"caught_up_entries\": {}, \"min_decided_frontier\": {}}}{comma}",
+            p.mode, p.offered_per_sec, p.delivered_per_sec, p.mean_ms, p.missing_pairs,
+            p.saturated, p.catch_up_requests, p.caught_up_entries, p.min_decided_frontier,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    fs::create_dir_all(path.parent().expect("results dir")).expect("create results dir");
+    fs::write(path, out).expect("write sweep json");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = 3;
+    let payload = 64;
+    let duration = Duration::from_secs(2);
+    // Light, medium and heavy (but unsaturated) load; smoke keeps the
+    // medium point so the CI grid stays a subset of the baseline.
+    let offered_grid: &[f64] = if smoke { &[2000.0] } else { &[1000.0, 2000.0, 4000.0] };
+
+    println!("recovery_sweep: indirect-CT static W={WINDOW} B={BATCH}, n={n}, {payload} B");
+    println!(
+        "{:>10} {:>13} | {:>12} {:>10} {:>8} {:>5} {:>9} {:>9} {:>9}",
+        "offered/s", "row", "delivered/s", "mean[ms]", "missing", "sat", "cu_reqs", "cu_entries",
+        "min_front"
+    );
+    let mut points = Vec::new();
+    for &offered in offered_grid {
+        for on in [false, true] {
+            points.push(measure(n, offered, payload, duration, on));
+        }
+    }
+    for p in &points {
+        println!(
+            "{:>10.0} {:>13} | {:>12.1} {:>10.3} {:>8} {:>5} {:>9} {:>9} {:>9}",
+            p.offered_per_sec,
+            p.mode,
+            p.delivered_per_sec,
+            p.mean_ms,
+            p.missing_pairs,
+            if p.saturated { "*" } else { "" },
+            p.catch_up_requests,
+            p.caught_up_entries,
+            p.min_decided_frontier,
+        );
+    }
+
+    for &offered in offered_grid {
+        let at = |mode: &str| {
+            points
+                .iter()
+                .find(|p| p.mode == mode && p.offered_per_sec == offered)
+                .expect("grid point")
+        };
+        let off = at("catch_up_off");
+        let on = at("catch_up_on");
+        println!(
+            "\nat {offered:.0}/s: catch-up costs {:+.1}% goodput, {:+.3} ms mean latency \
+             (frontier {} instances, {} entries over {} start-up probes)",
+            (on.delivered_per_sec / off.delivered_per_sec.max(1e-9) - 1.0) * 100.0,
+            on.mean_ms - off.mean_ms,
+            on.min_decided_frontier,
+            on.caught_up_entries,
+            on.catch_up_requests,
+        );
+    }
+
+    write_json(Path::new("results/BENCH_recovery_sweep.json"), n, payload, &points);
+    println!("wrote results/BENCH_recovery_sweep.json");
+
+    for &offered in offered_grid {
+        let at = |mode: &str| {
+            points
+                .iter()
+                .find(|p| p.mode == mode && p.offered_per_sec == offered)
+                .expect("grid point")
+        };
+        let off = at("catch_up_off");
+        let on = at("catch_up_on");
+        // The off rows are the paper's protocol: no log, no frontier, and
+        // the probe metrics must read exactly zero.
+        assert_eq!(
+            (off.catch_up_requests, off.caught_up_entries, off.min_decided_frontier),
+            (0, 0, 0),
+            "catch-up-off rows must not touch the recovery machinery at {offered:.0}/s",
+        );
+        // The on rows log everything, lose nothing, and never fetch more
+        // than the start-up probes (one request per process, answered only
+        // if a peer already decided something — a fault-free run has no
+        // gaps to repair).
+        assert!(
+            on.min_decided_frontier > 0,
+            "every process must have logged decided instances at {offered:.0}/s",
+        );
+        assert_eq!(
+            on.missing_pairs, off.missing_pairs,
+            "catch-up must not change what gets delivered at {offered:.0}/s",
+        );
+        assert!(
+            on.catch_up_requests <= n as u64 && on.caught_up_entries <= n as u64,
+            "a fault-free run must see no catch-up traffic past the start-up probes \
+             at {offered:.0}/s: {} requests, {} entries",
+            on.catch_up_requests,
+            on.caught_up_entries,
+        );
+        // The always-on price of recoverability: within a few percent of
+        // the paper's protocol at every unsaturated load.
+        if !off.saturated {
+            assert!(
+                on.delivered_per_sec >= off.delivered_per_sec * 0.95,
+                "catch-up bookkeeping must cost < 5% goodput at {offered:.0}/s: \
+                 {:.1}/s !>= 0.95 * {:.1}/s",
+                on.delivered_per_sec,
+                off.delivered_per_sec,
+            );
+        }
+    }
+}

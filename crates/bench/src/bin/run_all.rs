@@ -20,6 +20,7 @@ fn main() {
         "ablation_rcv",
         "pipeline_sweep",
         "priority_sweep",
+        "recovery_sweep",
     ];
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("bin directory").to_path_buf();

@@ -323,6 +323,27 @@ pub fn pipeline_adaptive_batch_spec(
         .with_adaptive_batch(1, max_batch)
 }
 
+/// The workload spec behind every `recovery_sweep` grid point: the static
+/// `W = 8, B = 16` pipeline (a healthy mid-grid `pipeline_sweep`
+/// configuration, well below the `B = 1` knee) with the decided log and
+/// catch-up protocol toggled per row. Seed pinned like every CI smoke
+/// artifact.
+///
+/// With `catch_up` off this is byte-for-byte the paper's protocol; on, every
+/// process appends each fully a-delivered instance to an in-memory decided
+/// log and piggybacks its frontier on existing frames. A fault-free sweep
+/// therefore prices the steady-state bookkeeping alone — the start-up
+/// frontier probe is the only catch-up traffic the run should ever see.
+pub fn recovery_sweep_spec(
+    n: usize,
+    offered: f64,
+    payload: usize,
+    duration: Duration,
+    catch_up: bool,
+) -> WorkloadSpec {
+    pipeline_sweep_spec(n, offered, payload, duration, 8, 16).with_catch_up(catch_up)
+}
+
 pub mod trend;
 
 /// The standard stack selections used across figures.

@@ -5,9 +5,12 @@ use iabc_consensus::ConsMsg;
 use iabc_fd::FdMsg;
 use iabc_types::{CodecError, Decode, Encode, TrafficClass, WireSize};
 
+use crate::decided::DecidedEntry;
+
 /// Everything an atomic broadcast stack puts on the wire: broadcast-layer
-/// frames (carrying payloads), instance-tagged consensus frames, and
-/// failure-detector heartbeats.
+/// frames (carrying payloads), instance-tagged consensus frames,
+/// failure-detector heartbeats, and the catch-up protocol (range requests,
+/// entry batches, and the frontier-piggyback wrapper).
 ///
 /// `V` is the consensus value type: [`IdSet`](iabc_types::IdSet) for the
 /// indirect / faulty / URB stacks, [`MsgSet`](crate::MsgSet) for the
@@ -25,6 +28,33 @@ pub enum Envelope<V> {
     },
     /// Failure-detector layer.
     Fd(FdMsg),
+    /// Catch-up: asks the receiver for its decided entries in
+    /// `from_k..=to_k` (the receiver clamps the range to what it holds).
+    CatchUpRequest {
+        /// First wanted instance (inclusive).
+        from_k: u64,
+        /// Last wanted instance (inclusive).
+        to_k: u64,
+    },
+    /// Catch-up: a batch of decided entries, contiguous and in instance
+    /// order. May be empty when the server holds nothing in the requested
+    /// range — the requester still learns the server's frontier from the
+    /// [`Envelope::WithFrontier`] wrapper around every frame.
+    CatchUpReply {
+        /// The served entries (each self-tagged with its instance `k`).
+        entries: Vec<DecidedEntry<V>>,
+    },
+    /// Frontier piggyback: wraps any other arm with the sender's decided
+    /// frontier, so frontier propagation rides on whatever traffic already
+    /// flows (RB data, consensus, heartbeats) instead of needing its own
+    /// schedule. Nesting is rejected at decode time.
+    WithFrontier {
+        /// The sender's decided frontier (highest contiguous instance it
+        /// can serve; 0 when it has nothing).
+        frontier: u64,
+        /// The wrapped frame.
+        inner: Box<Envelope<V>>,
+    },
 }
 
 impl<V: WireSize> WireSize for Envelope<V> {
@@ -33,18 +63,26 @@ impl<V: WireSize> WireSize for Envelope<V> {
             Envelope::Bcast(m) => m.wire_size(),
             Envelope::Cons { msg, .. } => 8 + msg.wire_size(),
             Envelope::Fd(m) => m.wire_size(),
+            Envelope::CatchUpRequest { .. } => 16,
+            Envelope::CatchUpReply { entries } => entries.wire_size(),
+            Envelope::WithFrontier { inner, .. } => 8 + inner.wire_size(),
         }
     }
 
     /// Two-class scheduling: broadcast frames (the payload flood) are
     /// [`TrafficClass::Bulk`]; consensus and failure-detector frames are
     /// [`TrafficClass::Ordering`] and may jump the bulk backlog wherever a
-    /// transport runs the priority lane.
+    /// transport runs the priority lane. Catch-up requests are small and
+    /// latency-sensitive (Ordering); replies carry payload batches (Bulk).
+    /// The frontier wrapper inherits the class of what it wraps.
     fn traffic_class(&self) -> TrafficClass {
         match self {
             Envelope::Bcast(m) => m.traffic_class(),
             Envelope::Cons { msg, .. } => msg.traffic_class(),
             Envelope::Fd(m) => m.traffic_class(),
+            Envelope::CatchUpRequest { .. } => TrafficClass::Ordering,
+            Envelope::CatchUpReply { .. } => TrafficClass::Bulk,
+            Envelope::WithFrontier { inner, .. } => inner.traffic_class(),
         }
     }
 }
@@ -65,12 +103,30 @@ impl<V: Encode> Encode for Envelope<V> {
                 buf.push(2);
                 m.encode(buf);
             }
+            Envelope::CatchUpRequest { from_k, to_k } => {
+                buf.push(3);
+                from_k.encode(buf);
+                to_k.encode(buf);
+            }
+            Envelope::CatchUpReply { entries } => {
+                buf.push(4);
+                entries.encode(buf);
+            }
+            Envelope::WithFrontier { frontier, inner } => {
+                buf.push(5);
+                frontier.encode(buf);
+                inner.encode(buf);
+            }
         }
     }
 }
 
-impl<V: Decode + WireSize> Decode for Envelope<V> {
-    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+impl<V: Decode + WireSize> Envelope<V> {
+    /// Decodes one envelope. `allow_frontier` is cleared for the inner
+    /// frame of a [`Envelope::WithFrontier`]: nesting carries no extra
+    /// information and would hand remote input an unbounded recursion, so
+    /// a nested wrapper is rejected as an invalid tag.
+    fn decode_with_nesting(buf: &mut &[u8], allow_frontier: bool) -> Result<Self, CodecError> {
         match u8::decode(buf)? {
             0 => Ok(Envelope::Bcast(BcastMsg::decode(buf)?)),
             1 => {
@@ -79,8 +135,25 @@ impl<V: Decode + WireSize> Decode for Envelope<V> {
                 Ok(Envelope::Cons { k, msg })
             }
             2 => Ok(Envelope::Fd(FdMsg::decode(buf)?)),
+            3 => {
+                let from_k = u64::decode(buf)?;
+                let to_k = u64::decode(buf)?;
+                Ok(Envelope::CatchUpRequest { from_k, to_k })
+            }
+            4 => Ok(Envelope::CatchUpReply { entries: Vec::decode(buf)? }),
+            5 if allow_frontier => {
+                let frontier = u64::decode(buf)?;
+                let inner = Box::new(Self::decode_with_nesting(buf, false)?);
+                Ok(Envelope::WithFrontier { frontier, inner })
+            }
             tag => Err(CodecError::InvalidTag { tag, context: "Envelope" }),
         }
+    }
+}
+
+impl<V: Decode + WireSize> Decode for Envelope<V> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Self::decode_with_nesting(buf, true)
     }
 }
 
@@ -94,16 +167,54 @@ mod tests {
         AppMessage::new(MsgId::new(ProcessId::new(0), 1), Payload::zeroed(16), Time::ZERO)
     }
 
+    fn entry(k: u64) -> DecidedEntry<IdSet> {
+        DecidedEntry {
+            k,
+            value: IdSet::from_ids([app_msg().id()]),
+            payloads: vec![app_msg()],
+        }
+    }
+
     #[test]
     fn all_arms_roundtrip() {
         let envs: Vec<Envelope<IdSet>> = vec![
             Envelope::Bcast(BcastMsg::Data(app_msg())),
             Envelope::Cons { k: 9, msg: ConsMsg::CtAck { round: 2 } },
             Envelope::Fd(FdMsg::Heartbeat(3)),
+            Envelope::CatchUpRequest { from_k: 4, to_k: 67 },
+            Envelope::CatchUpReply { entries: vec![entry(4), entry(5)] },
+            Envelope::CatchUpReply { entries: Vec::new() },
+            Envelope::WithFrontier {
+                frontier: 12,
+                inner: Box::new(Envelope::Fd(FdMsg::Heartbeat(3))),
+            },
+            Envelope::WithFrontier {
+                frontier: 0,
+                inner: Box::new(Envelope::CatchUpReply { entries: vec![entry(1)] }),
+            },
         ];
         for e in envs {
             assert_eq!(roundtrip(&e).unwrap(), e);
         }
+    }
+
+    #[test]
+    fn nested_frontier_wrapper_rejected() {
+        // A hand-crafted WithFrontier(WithFrontier(...)) must not decode:
+        // nesting is meaningless and would be remote-controlled recursion.
+        let nested: Envelope<IdSet> = Envelope::WithFrontier {
+            frontier: 1,
+            inner: Box::new(Envelope::WithFrontier {
+                frontier: 2,
+                inner: Box::new(Envelope::Fd(FdMsg::Heartbeat(0))),
+            }),
+        };
+        let bytes = nested.to_bytes();
+        let mut buf: &[u8] = &bytes;
+        assert!(matches!(
+            Envelope::<IdSet>::decode(&mut buf),
+            Err(CodecError::InvalidTag { tag: 5, .. })
+        ));
     }
 
     #[test]
@@ -140,6 +251,19 @@ mod tests {
         assert_eq!(cons.traffic_class(), TrafficClass::Ordering);
         assert_eq!(decide.traffic_class(), TrafficClass::Ordering);
         assert_eq!(fd.traffic_class(), TrafficClass::Ordering);
+
+        // Catch-up: requests are latency-sensitive, replies move payload
+        // batches; the wrapper takes the class of what it wraps.
+        let req: Envelope<IdSet> = Envelope::CatchUpRequest { from_k: 1, to_k: 2 };
+        let reply: Envelope<IdSet> = Envelope::CatchUpReply { entries: vec![entry(1)] };
+        assert_eq!(req.traffic_class(), TrafficClass::Ordering);
+        assert_eq!(reply.traffic_class(), TrafficClass::Bulk);
+        let wrapped_fd: Envelope<IdSet> =
+            Envelope::WithFrontier { frontier: 1, inner: Box::new(fd) };
+        let wrapped_reply: Envelope<IdSet> =
+            Envelope::WithFrontier { frontier: 1, inner: Box::new(reply) };
+        assert_eq!(wrapped_fd.traffic_class(), TrafficClass::Ordering);
+        assert_eq!(wrapped_reply.traffic_class(), TrafficClass::Bulk);
     }
 
     #[test]

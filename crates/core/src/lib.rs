@@ -46,6 +46,7 @@
 //! assert_eq!(delivered.len(), 3); // all three processes a-deliver m
 //! ```
 
+pub mod decided;
 pub mod envelope;
 pub mod monitor;
 pub mod msgset;
@@ -55,6 +56,7 @@ pub mod store;
 
 use iabc_types::{AppMessage, MsgId, Payload};
 
+pub use decided::{DecidedEntry, DecidedLog, DurableDecidedLog, MemDecidedLog};
 pub use envelope::Envelope;
 pub use monitor::{AbcastChecker, Violation};
 pub use msgset::MsgSet;

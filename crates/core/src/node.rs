@@ -47,6 +47,20 @@ pub struct PipelineConfig {
     /// guarantees they are picked up even if no other event arrives, so no
     /// id is ever excluded permanently.
     pub proposal_freshness: bool,
+    /// When `true`, the node keeps a [`crate::decided::DecidedLog`] of
+    /// fully a-delivered instances, piggybacks its decided frontier on
+    /// every outgoing frame, and fetches ranges it is missing from peers
+    /// whose frontier is ahead (`CatchUpRequest`/`CatchUpReply`). Off by
+    /// default: the wire format and event sequences of a catch-up-off
+    /// node are bit-identical to the pre-catch-up behaviour.
+    pub catch_up: bool,
+    /// When `true`, the node is a *learner* (read replica): it never
+    /// a-broadcasts, never proposes, and drops all consensus traffic
+    /// (no acks), converging on the decided sequence purely through the
+    /// frontier piggyback and catch-up. It also sends no heartbeats, so
+    /// heartbeat failure detectors suspect it and consensus rotates past
+    /// any round that would have it coordinate. Implies `catch_up`.
+    pub learner: bool,
 }
 
 /// Smoothing factor of the EWMA latency baseline (weight of the newest
@@ -101,6 +115,8 @@ impl PipelineConfig {
             max_proposal_ids: usize::MAX,
             ewma_signal: false,
             proposal_freshness: false,
+            catch_up: false,
+            learner: false,
         }
     }
 
@@ -119,6 +135,24 @@ impl PipelineConfig {
     /// [`PipelineConfig::proposal_freshness`].
     pub fn with_proposal_freshness(mut self, on: bool) -> Self {
         self.proposal_freshness = on;
+        self
+    }
+
+    /// Enables (or disables) the decided log, frontier piggyback, and
+    /// catch-up protocol — see [`PipelineConfig::catch_up`].
+    pub fn with_catch_up(mut self, on: bool) -> Self {
+        self.catch_up = on;
+        self
+    }
+
+    /// Makes the node a learner (read replica) — see
+    /// [`PipelineConfig::learner`]. Enabling it also enables `catch_up`
+    /// (a learner has no other way to learn decisions).
+    pub fn with_learner(mut self, on: bool) -> Self {
+        self.learner = on;
+        if on {
+            self.catch_up = true;
+        }
         self
     }
 }
@@ -302,6 +336,7 @@ impl WindowController {
     }
 }
 
+use crate::decided::{DecidedEntry, DecidedLog, MemDecidedLog};
 use crate::envelope::Envelope;
 use crate::msgset::MsgSet;
 use crate::store::{CostModel, ReceivedStore};
@@ -317,10 +352,25 @@ const TIMER_FD: u32 = 1;
 /// never be proposed (liveness).
 const TIMER_PROPOSE: u32 = 2;
 
+/// Timer-id kind of the catch-up retry: armed with each outstanding
+/// [`Envelope::CatchUpRequest`]; if the reply never arrives (request or
+/// reply lost, server crashed) the node re-requests from the then-best
+/// peer. The timer's `data` carries the request epoch so a late reply
+/// followed by a stale timer cannot double-request.
+const TIMER_CATCHUP: u32 = 3;
+
 /// How many decided consensus instances to keep as a straggler
 /// retransmission cache before garbage collection (see
 /// [`InstanceManager::gc_decided_below`]).
 const KEEP_DECIDED_INSTANCES: u64 = 8;
+
+/// Maximum decided entries per [`Envelope::CatchUpReply`] — the requester
+/// asks for at most this many and the server clamps to it regardless, so
+/// a deep gap streams as bounded batches instead of one giant frame.
+const CATCH_UP_BATCH: u64 = 64;
+
+/// How long to wait for a [`Envelope::CatchUpReply`] before re-requesting.
+const CATCH_UP_RETRY: Duration = Duration::from_millis(25);
 
 /// A value type the atomic broadcast reduction can order by.
 ///
@@ -328,7 +378,7 @@ const KEEP_DECIDED_INSTANCES: u64 = 8;
 /// URB) and [`MsgSet`] (the classic full-message reduction). The node
 /// manipulates proposals and decisions exclusively through this interface,
 /// so one `AbcastNode` implementation covers all four stacks.
-pub trait OrderingValue: iabc_consensus::ConsensusValue + Send {
+pub trait OrderingValue: iabc_consensus::ConsensusValue + Send + 'static {
     /// Builds the proposal for the next consensus instance from the
     /// currently unordered identifiers (Algorithm 1 line 17).
     fn from_unordered(unordered: &IdSet, store: &ReceivedStore) -> Self;
@@ -512,6 +562,47 @@ pub struct AbcastNode<V: OrderingValue, A: SingleConsensus<V>> {
     /// up as up to `n - 1` refusals across the system, so compare the
     /// counter between configurations, not against a round count.
     nacks_sent: u64,
+    /// The decided log (`Some` iff `catch_up` is configured): every fully
+    /// a-delivered instance is appended here, in instance order; its
+    /// frontier is what the node piggybacks and serves to peers. Defaults
+    /// to a [`MemDecidedLog`]; [`AbcastNode::set_decided_log`] swaps in a
+    /// durable one before start.
+    log: Option<Box<dyn DecidedLog<V>>>,
+    /// Learner (read replica) mode — see [`PipelineConfig::learner`].
+    learner: bool,
+    /// Applied-but-not-fully-delivered instances, oldest first: each
+    /// tracks how many of its (newly) ordered ids still await delivery
+    /// and collects their payloads, so the log entry appended on
+    /// completion is self-contained. Deliveries drain `ordered` strictly
+    /// in instance order, so completion is always front-first.
+    pending_log: VecDeque<PendingLogEntry<V>>,
+    /// Highest decided frontier observed per peer (from the
+    /// [`Envelope::WithFrontier`] piggyback).
+    peer_frontiers: BTreeMap<ProcessId, u64>,
+    /// Whether a catch-up request is outstanding (one at a time: batches
+    /// apply in order, and a second overlapping range would be wasted).
+    catch_up_inflight: bool,
+    /// Monotonic request counter; the retry timer carries the epoch it
+    /// was armed for, so only the timer of the *current* request may
+    /// re-request.
+    catch_up_epoch: u64,
+    /// Catch-up requests sent (recovery metric).
+    catch_up_requests: u64,
+    /// Decided entries learned through catch-up replies, i.e. entries
+    /// that were ahead of `next_apply` when they arrived (recovery
+    /// metric).
+    caught_up_entries: u64,
+}
+
+/// Bookkeeping for one applied instance whose deliveries are still
+/// draining (see [`AbcastNode::pending_log`]).
+struct PendingLogEntry<V> {
+    k: u64,
+    value: V,
+    /// Ids this instance newly ordered that have not been a-delivered yet.
+    remaining: usize,
+    /// Payloads of the delivered ids, in delivery order.
+    payloads: Vec<AppMessage>,
 }
 
 impl<V: OrderingValue, A: SingleConsensus<V>> fmt::Debug for AbcastNode<V, A> {
@@ -578,6 +669,28 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             freshness_held: 0,
             propose_timer_armed: false,
             nacks_sent: 0,
+            log: (pipeline.catch_up || pipeline.learner)
+                .then(|| Box::new(MemDecidedLog::new()) as Box<dyn DecidedLog<V>>),
+            learner: pipeline.learner,
+            pending_log: VecDeque::new(),
+            peer_frontiers: BTreeMap::new(),
+            catch_up_inflight: false,
+            catch_up_epoch: 0,
+            catch_up_requests: 0,
+            caught_up_entries: 0,
+        }
+    }
+
+    /// Replaces the decided log — typically with a
+    /// [`crate::decided::DurableDecidedLog`] so the node survives a
+    /// restart. Call before the node starts: `on_start` reloads the log
+    /// and resumes from its frontier (rebuilding `ordered_ever` and the
+    /// apply cursor), and a log swapped in later would miss the entries
+    /// already appended to the old one. No-op unless `catch_up` (or
+    /// `learner`) was configured.
+    pub fn set_decided_log(&mut self, log: Box<dyn DecidedLog<V>>) {
+        if self.log.is_some() {
+            self.log = Some(log);
         }
     }
 
@@ -693,10 +806,46 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         self.mgr.slot_count()
     }
 
+    /// The decided frontier: the highest instance fully a-delivered *and*
+    /// logged (0 with catch-up off or before the first instance
+    /// completes). This is what the node piggybacks and can serve.
+    pub fn decided_frontier(&self) -> u64 {
+        self.log.as_ref().map_or(0, |log| log.frontier())
+    }
+
+    /// Catch-up requests this node sent so far.
+    pub fn catch_up_requests(&self) -> u64 {
+        self.catch_up_requests
+    }
+
+    /// Decided entries this node learned through catch-up replies (only
+    /// entries that were ahead of its apply cursor when they arrived).
+    pub fn caught_up_entries(&self) -> u64 {
+        self.caught_up_entries
+    }
+
+    /// Whether this node is a learner (read replica).
+    pub fn is_learner(&self) -> bool {
+        self.learner
+    }
+
+    /// Wraps an outgoing frame with the decided frontier when catch-up is
+    /// on. Piggybacking on *every* frame (RB data, consensus, heartbeats,
+    /// catch-up itself) means frontier propagation needs no schedule of
+    /// its own and works even in stacks with the failure detector off.
+    /// With catch-up off this is the identity — the wire format is then
+    /// byte-for-byte the pre-catch-up one.
+    fn wrap(&self, env: Envelope<V>) -> Envelope<V> {
+        match self.log.as_ref() {
+            Some(log) => Envelope::WithFrontier { frontier: log.frontier(), inner: Box::new(env) },
+            None => env,
+        }
+    }
+
     fn send_bcast(&self, dest: BcastDest, msg: iabc_broadcast::BcastMsg, ctx: &mut Ctx<V>) {
         match dest {
-            BcastDest::To(q) => ctx.send(q, Envelope::Bcast(msg)),
-            BcastDest::Others => ctx.send_to_others(Envelope::Bcast(msg)),
+            BcastDest::To(q) => ctx.send(q, self.wrap(Envelope::Bcast(msg))),
+            BcastDest::Others => ctx.send_to_others(self.wrap(Envelope::Bcast(msg))),
         }
     }
 
@@ -712,8 +861,8 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     fn apply_fd_out(&mut self, out: FdOut, ctx: &mut Ctx<V>) {
         for (dest, msg) in out.sends {
             match dest {
-                FdDest::To(q) => ctx.send(q, Envelope::Fd(msg)),
-                FdDest::Others => ctx.send_to_others(Envelope::Fd(msg)),
+                FdDest::To(q) => ctx.send(q, self.wrap(Envelope::Fd(msg))),
+                FdDest::Others => ctx.send_to_others(self.wrap(Envelope::Fd(msg))),
             }
         }
         for (delay, data) in out.timers {
@@ -753,7 +902,7 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             if msg.is_refusal() {
                 self.nacks_sent += 1;
             }
-            let env = Envelope::Cons { k, msg };
+            let env = self.wrap(Envelope::Cons { k, msg });
             match dest {
                 ConsDest::To(q) => ctx.send(q, env),
                 ConsDest::All => ctx.send_to_all(env),
@@ -811,6 +960,9 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     /// without limit and every consensus message gets costlier to check,
     /// the death spiral the static sweep shows at `W=1, B=1`.
     fn maybe_propose(&mut self, ctx: &mut Ctx<V>) {
+        if self.learner {
+            return; // learners never propose; they only consume decisions
+        }
         loop {
             if self.in_flight.len() >= self.controller.current() {
                 // A full window with a spilling backlog is the signal to
@@ -870,6 +1022,18 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
                     // Every candidate is mid-flood: do not burn a round —
                     // wake up when the earliest one matures (nothing else
                     // is guaranteed to re-trigger proposing).
+                    //
+                    // Liveness audit of the one-shot wake-up: `on_timer`
+                    // clears `propose_timer_armed` *before* re-running this
+                    // function, so when the flood-delay estimate grew since
+                    // arming and the candidates are *still* all-fresh at
+                    // fire time, this branch re-arms for the new, later
+                    // maturity instant — the gate never strands an
+                    // ungated-but-unproposed backlog waiting for unrelated
+                    // traffic. (The only no-re-arm exit above is a full
+                    // window, and a full window guarantees a future
+                    // `apply_decision` → `maybe_propose` re-evaluation.)
+                    // Covered by `freshness_gate_rearms_when_estimate_grew`.
                     if let Some(at) = earliest_fresh {
                         self.arm_propose_timer(at, ctx);
                     }
@@ -976,14 +1140,34 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         let ids = v.ids();
         ctx.work(self.cost.order_per_id * ids.len() as u64);
         self.unordered.subtract(&ids);
+        let mut newly_ordered = 0usize;
         for id in ids.iter() {
             if self.ordered_ever.insert(id) {
                 self.ordered.push_back(id);
+                newly_ordered += 1;
             }
             // else: with W > 1, an id decided by instance k may also sit in
             // a concurrent proposal that a later instance decides — every
             // process applies decisions in the same order and skips the
             // duplicate here, so the total order stays identical.
+        }
+        if self.log.is_some() {
+            // A decision may reach us through catch-up for an instance we
+            // never proposed (laggard or restarted node): proposing below
+            // an applied instance would permanently leak that in-flight
+            // slot, so keep the propose cursor at or above the apply
+            // cursor. Catch-up-off nodes never apply unproposed-by-anyone
+            // instances out from under their own cursor, so gating this on
+            // the log keeps their event sequences bit-identical.
+            self.proposed_hi = self.proposed_hi.max(k);
+            // Log the instance once its deliveries finish (remaining = 0
+            // completes immediately for an all-duplicates decision).
+            self.pending_log.push_back(PendingLogEntry {
+                k,
+                value: v,
+                remaining: newly_ordered,
+                payloads: Vec::with_capacity(newly_ordered),
+            });
         }
         self.try_deliver(ctx);
         // Feed the window controller before proposing again, so the next
@@ -1009,8 +1193,143 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             let msg = m.clone();
             self.ordered.pop_front();
             self.delivered_count += 1;
+            if self.log.is_some() {
+                // Deliveries drain in instance order, so this delivery
+                // belongs to the oldest applied instance that still has
+                // ids outstanding (entries at zero are merely waiting for
+                // their turn to be appended contiguously).
+                if let Some(p) = self.pending_log.iter_mut().find(|p| p.remaining > 0) {
+                    p.remaining -= 1;
+                    p.payloads.push(msg.clone());
+                }
+            }
             ctx.output(AbcastEvent::Delivered { msg });
         }
+        self.drain_completed_log();
+    }
+
+    /// Appends every fully delivered instance at the front of
+    /// `pending_log` to the decided log, preserving contiguity.
+    fn drain_completed_log(&mut self) {
+        let Some(log) = self.log.as_mut() else { return };
+        while self.pending_log.front().is_some_and(|p| p.remaining == 0) {
+            let Some(p) = self.pending_log.pop_front() else { break };
+            log.append(DecidedEntry { k: p.k, value: p.value, payloads: p.payloads });
+        }
+    }
+
+    /// Restart path: rebuilds ordering state from a reloaded decided log.
+    ///
+    /// The logged prefix was a-delivered before the crash (entries are only
+    /// appended once every id in the instance has been delivered), so it is
+    /// **not** re-delivered: the apply cursor jumps past the frontier and
+    /// the logged ids enter `ordered_ever` so later decisions and RB
+    /// arrivals treat them as already ordered. `next_seq` resumes past the
+    /// highest own-sender sequence in the log so reused ids are impossible.
+    fn recover_from_log(&mut self) {
+        let Some(log) = self.log.as_mut() else { return };
+        log.reload();
+        let frontier = log.frontier();
+        if frontier == 0 {
+            return;
+        }
+        for e in log.range(1, frontier) {
+            for id in e.value.ids().iter() {
+                self.ordered_ever.insert(id);
+                if id.sender() == self.me {
+                    self.next_seq = self.next_seq.max(id.seq().saturating_add(1));
+                }
+            }
+        }
+        self.next_apply = frontier.saturating_add(1);
+        self.proposed_hi = self.proposed_hi.max(frontier);
+    }
+
+    /// Records a peer's piggybacked frontier and starts catching up if it
+    /// proves the peer holds instances we have not applied.
+    fn note_peer_frontier(&mut self, from: ProcessId, frontier: u64, ctx: &mut Ctx<V>) {
+        if self.log.is_none() {
+            return; // catch-up off: tolerate the wrapper, ignore the hint
+        }
+        let known = self.peer_frontiers.entry(from).or_insert(0);
+        *known = (*known).max(frontier);
+        self.maybe_catch_up(ctx);
+    }
+
+    /// Issues a catch-up request when some peer's frontier is at or past
+    /// our apply cursor and no request is outstanding. Deterministic peer
+    /// choice: the highest advertised frontier, ties to the smallest
+    /// process id.
+    fn maybe_catch_up(&mut self, ctx: &mut Ctx<V>) {
+        if self.log.is_none() || self.catch_up_inflight {
+            return;
+        }
+        let from_k = self.next_apply;
+        let best = self
+            .peer_frontiers
+            .iter()
+            .filter(|&(_, &f)| f >= from_k)
+            .max_by_key(|&(&p, &f)| (f, std::cmp::Reverse(p)));
+        let Some((&peer, &frontier)) = best else { return };
+        // Checked instance math throughout the catch-up range plumbing: a
+        // wrapped bound would re-request the wrong range forever.
+        let to_k = frontier.min(from_k.saturating_add(CATCH_UP_BATCH - 1));
+        self.catch_up_requests += 1;
+        let req = self.wrap(Envelope::CatchUpRequest { from_k, to_k });
+        ctx.send(peer, req);
+        self.arm_catch_up_retry(ctx);
+    }
+
+    /// Marks a request outstanding and arms its retry timer (tagged with
+    /// a fresh epoch so stale timers are inert).
+    fn arm_catch_up_retry(&mut self, ctx: &mut Ctx<V>) {
+        self.catch_up_inflight = true;
+        self.catch_up_epoch = self.catch_up_epoch.wrapping_add(1);
+        ctx.set_timer(CATCH_UP_RETRY, TimerId::new(TIMER_CATCHUP, self.catch_up_epoch));
+    }
+
+    /// Serves a peer's catch-up request from the decided log, clamped to
+    /// what we hold and to [`CATCH_UP_BATCH`]. Always answers (possibly
+    /// with an empty batch): the reply clears the requester's outstanding
+    /// flag promptly and its wrapper carries our frontier.
+    fn serve_catch_up(&mut self, from: ProcessId, from_k: u64, to_k: u64, ctx: &mut Ctx<V>) {
+        let entries: Vec<DecidedEntry<V>> = match self.log.as_ref() {
+            Some(log) => {
+                let hi = to_k.min(from_k.saturating_add(CATCH_UP_BATCH - 1));
+                log.range(from_k, hi).to_vec()
+            }
+            None => Vec::new(), // catch-up off here; answer empty, not silence
+        };
+        let reply = self.wrap(Envelope::CatchUpReply { entries });
+        ctx.send(from, reply);
+    }
+
+    /// Applies a batch of caught-up entries through the normal decision
+    /// path (`handle_decision` buffers, dedupes, and applies strictly in
+    /// instance order — there is no second apply path), then keeps
+    /// fetching if still behind the best-known frontier.
+    fn absorb_catch_up(&mut self, entries: Vec<DecidedEntry<V>>, ctx: &mut Ctx<V>) {
+        if self.log.is_none() {
+            return;
+        }
+        // This reply settles the outstanding request; bump the epoch so
+        // its retry timer (still scheduled) cannot re-request.
+        self.catch_up_inflight = false;
+        self.catch_up_epoch = self.catch_up_epoch.wrapping_add(1);
+        for e in entries {
+            if e.k >= self.next_apply {
+                self.caught_up_entries += 1;
+            }
+            // Store the payloads directly: `rdeliver` would feed the
+            // flood-delay EWMA and the `unordered` candidate set, but
+            // these messages are already ordered — they must influence
+            // neither proposals nor the freshness estimate.
+            for m in e.payloads {
+                self.store.insert(m);
+            }
+            self.handle_decision(e.k, e.value, ctx);
+        }
+        self.maybe_catch_up(ctx);
     }
 }
 
@@ -1035,6 +1354,12 @@ pub trait PipelineProbe {
     /// Identifiers received but not yet a-delivered — the ingestion
     /// pressure adaptive batch coalescers key off.
     fn ingest_backlog(&self) -> usize;
+    /// Catch-up requests issued so far (0 when catch-up is off).
+    fn catch_up_requests(&self) -> u64;
+    /// Catch-up entries received for instances not yet applied locally.
+    fn caught_up_entries(&self) -> u64;
+    /// Highest contiguous instance in the decided log (0 without a log).
+    fn decided_frontier(&self) -> u64;
 }
 
 impl<V: OrderingValue, A: SingleConsensus<V>> PipelineProbe for AbcastNode<V, A> {
@@ -1061,6 +1386,18 @@ impl<V: OrderingValue, A: SingleConsensus<V>> PipelineProbe for AbcastNode<V, A>
     fn ingest_backlog(&self) -> usize {
         AbcastNode::ingest_backlog(self)
     }
+
+    fn catch_up_requests(&self) -> u64 {
+        AbcastNode::catch_up_requests(self)
+    }
+
+    fn caught_up_entries(&self) -> u64 {
+        AbcastNode::caught_up_entries(self)
+    }
+
+    fn decided_frontier(&self) -> u64 {
+        AbcastNode::decided_frontier(self)
+    }
 }
 
 impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
@@ -1069,12 +1406,33 @@ impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
     type Output = AbcastEvent;
 
     fn on_start(&mut self, ctx: &mut Ctx<V>) {
-        let mut fout = FdOut::new();
-        self.fd.on_start(ctx.now(), &mut fout);
-        self.apply_fd_out(fout, ctx);
+        self.recover_from_log();
+        // Learners send no heartbeats: peers' failure detectors suspect
+        // them, which lets the rotating coordinator skip learner-
+        // coordinated rounds instead of waiting on acks that never come.
+        if !self.learner {
+            let mut fout = FdOut::new();
+            self.fd.on_start(ctx.now(), &mut fout);
+            self.apply_fd_out(fout, ctx);
+        }
+        // Bootstrap probe: on a quiet cluster no frames flow, so a
+        // restarted (or freshly started) catch-up node would never see a
+        // peer frontier. One broadcast request primes `peer_frontiers`
+        // from the wrapped replies and fetches any backlog immediately.
+        if self.log.is_some() && ctx.n() > 1 {
+            let from_k = self.next_apply;
+            let to_k = from_k.saturating_add(CATCH_UP_BATCH - 1);
+            self.catch_up_requests += 1;
+            let req = self.wrap(Envelope::CatchUpRequest { from_k, to_k });
+            ctx.send_to_others(req);
+            self.arm_catch_up_retry(ctx);
+        }
     }
 
     fn on_command(&mut self, cmd: AbcastCommand, ctx: &mut Ctx<V>) {
+        if self.learner {
+            return; // read replicas consume the stream, they never feed it
+        }
         let AbcastCommand::Broadcast(payload) = cmd;
         let id = MsgId::new(self.me, self.next_seq);
         self.next_seq += 1;
@@ -1094,6 +1452,9 @@ impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
                 self.apply_bcast_out(bout, ctx);
             }
             Envelope::Cons { k, msg } => {
+                if self.learner {
+                    return; // learners take no part in consensus, not even relays
+                }
                 let mut mout = MgrOut::new();
                 {
                     let oracle = NodeOracle {
@@ -1110,6 +1471,18 @@ impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
                 self.fd.on_message(ctx.now(), from, f, &mut fout);
                 self.apply_fd_out(fout, ctx);
             }
+            Envelope::CatchUpRequest { from_k, to_k } => {
+                self.serve_catch_up(from, from_k, to_k, ctx);
+            }
+            Envelope::CatchUpReply { entries } => {
+                self.absorb_catch_up(entries, ctx);
+            }
+            Envelope::WithFrontier { frontier, inner } => {
+                self.note_peer_frontier(from, frontier, ctx);
+                // Decode bounds nesting to one level, so this recursion
+                // cannot be driven deeper by remote input.
+                self.on_message(from, *inner, ctx);
+            }
         }
     }
 
@@ -1121,6 +1494,14 @@ impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
         } else if timer.kind() == TIMER_PROPOSE {
             self.propose_timer_armed = false;
             self.maybe_propose(ctx);
+        } else if timer.kind() == TIMER_CATCHUP {
+            // Epoch guard: only the retry timer of the *current*
+            // outstanding request may fire a re-request; replies bump the
+            // epoch, so timers from settled requests are inert.
+            if self.catch_up_inflight && timer.data() == self.catch_up_epoch {
+                self.catch_up_inflight = false;
+                self.maybe_catch_up(ctx);
+            }
         }
     }
 }
@@ -1130,7 +1511,7 @@ mod tests {
     use super::*;
     use iabc_broadcast::{BcastMsg, EagerRb};
     use iabc_consensus::{ConsMsg, CtConsensus};
-    use iabc_fd::NeverSuspect;
+    use iabc_fd::{FdMsg, NeverSuspect};
     use iabc_runtime::Action;
     use iabc_types::{Payload, Time};
 
@@ -1773,5 +2154,320 @@ mod tests {
         let faulty = NodeOracle { store: &store, check_store: false, cost_per_id: Duration::ZERO };
         assert!(RcvOracle::<IdSet>::rcv(&faulty, &missing), "the faulty oracle lies");
         assert_eq!(RcvOracle::<IdSet>::cost(&faulty, &missing), Duration::ZERO);
+    }
+
+    // ---- catch-up, decided log, learner mode ----
+
+    fn catchup_node() -> AbcastNode<IdSet, CtConsensus<IdSet>> {
+        test_node_with(PipelineConfig::fixed(1).with_catch_up(true))
+    }
+
+    /// Drains the context and returns every `(to, msg)` send.
+    fn sends(c: &mut Ctx<IdSet>) -> Vec<(ProcessId, Envelope<IdSet>)> {
+        c.take_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drains the context and returns the single armed timer of `kind`.
+    fn armed_timer(c: &mut Ctx<IdSet>, kind: u32) -> (Duration, TimerId) {
+        let timers: Vec<(Duration, TimerId)> = c
+            .take_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { delay, timer } if timer.kind() == kind => {
+                    Some((delay, timer))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(timers.len(), 1, "expected exactly one kind-{kind} timer");
+        timers[0]
+    }
+
+    /// A decided-log entry carrying the given messages' ids and payloads.
+    fn log_entry(k: u64, msgs: &[AppMessage]) -> DecidedEntry<IdSet> {
+        DecidedEntry {
+            k,
+            value: IdSet::from_ids(msgs.iter().map(|m| m.id())),
+            payloads: msgs.to_vec(),
+        }
+    }
+
+    /// A peer heartbeat wrapped with the peer's decided frontier.
+    fn wrapped_hb(frontier: u64) -> Envelope<IdSet> {
+        Envelope::WithFrontier {
+            frontier,
+            inner: Box::new(Envelope::Fd(FdMsg::Heartbeat(0))),
+        }
+    }
+
+    #[test]
+    fn catch_up_sends_carry_the_frontier_and_off_sends_stay_plain() {
+        // On: once instance 1 is logged, outbound frames advertise it.
+        let mut node = catchup_node();
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        assert_eq!(node.decided_frontier(), 1);
+        c.take_actions();
+        deliver_data(&mut node, 1, msg(1, 1), &mut c);
+        let out = sends(&mut c);
+        assert!(!out.is_empty());
+        assert!(
+            out.iter().all(|(_, m)| matches!(m, Envelope::WithFrontier { frontier: 1, .. })),
+            "every frame of a catch-up node must carry its frontier"
+        );
+
+        // Off (the default): the wrapper never appears, so committed
+        // baselines and wire traces stay byte-identical.
+        let mut node = test_node(1);
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        assert_eq!(node.decided_frontier(), 0, "no log without catch-up");
+        assert!(sends(&mut c)
+            .iter()
+            .all(|(_, m)| !matches!(m, Envelope::WithFrontier { .. })));
+    }
+
+    #[test]
+    fn catch_up_request_is_served_from_the_log() {
+        let mut node = catchup_node();
+        let mut c = ctx();
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        deliver_data(&mut node, 1, msg(1, 1), &mut c);
+        deliver_decide(&mut node, 2, IdSet::from_ids([msg(1, 1).id()]), &mut c);
+        assert_eq!(node.decided_frontier(), 2);
+        c.take_actions();
+        // A laggard asks for everything: the reply is clamped to what we
+        // hold and wrapped with our frontier.
+        node.on_message(
+            ProcessId::new(2),
+            Envelope::CatchUpRequest { from_k: 1, to_k: u64::MAX },
+            &mut c,
+        );
+        let (to, frontier, entries) = sends(&mut c)
+            .into_iter()
+            .find_map(|(to, m)| match m {
+                Envelope::WithFrontier { frontier, inner } => match *inner {
+                    Envelope::CatchUpReply { entries } => Some((to, frontier, entries)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("a wrapped catch-up reply");
+        assert_eq!(to, ProcessId::new(2));
+        assert_eq!(frontier, 2);
+        assert_eq!(entries.len(), 2);
+        assert_eq!((entries[0].k, entries[1].k), (1, 2));
+        assert_eq!(entries[0].payloads[0].id(), msg(1, 0).id(), "entries carry payloads");
+    }
+
+    #[test]
+    fn frontier_ahead_triggers_a_request_and_the_reply_applies_in_order() {
+        let mut node = catchup_node();
+        let mut c = ctx();
+        // A peer heartbeat advertises frontier 2 while we hold nothing.
+        node.on_message(ProcessId::new(1), wrapped_hb(2), &mut c);
+        assert_eq!(node.catch_up_requests(), 1);
+        let req = sends(&mut c)
+            .into_iter()
+            .find_map(|(to, m)| match m {
+                Envelope::WithFrontier { inner, .. } => match *inner {
+                    Envelope::CatchUpRequest { from_k, to_k } => Some((to, from_k, to_k)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("a catch-up request");
+        assert_eq!(req, (ProcessId::new(1), 1, 2));
+        // The reply flows through the normal decision path: strict
+        // instance order, payloads first-class, frontier advanced.
+        let entries = vec![log_entry(1, &[msg(1, 0)]), log_entry(2, &[msg(1, 1)])];
+        node.on_message(ProcessId::new(1), Envelope::CatchUpReply { entries }, &mut c);
+        assert_eq!(delivered_ids(&mut c), vec![msg(1, 0).id(), msg(1, 1).id()]);
+        assert_eq!(node.decided_frontier(), 2);
+        assert_eq!(node.caught_up_entries(), 2);
+    }
+
+    #[test]
+    fn catch_up_retry_fires_once_per_outstanding_request() {
+        let mut node = catchup_node();
+        let mut c = ctx();
+        node.on_message(ProcessId::new(1), wrapped_hb(2), &mut c);
+        assert_eq!(node.catch_up_requests(), 1);
+        let (_, t1) = armed_timer(&mut c, TIMER_CATCHUP);
+        // No reply: the retry re-requests (and re-arms).
+        node.on_timer(t1, &mut c);
+        assert_eq!(node.catch_up_requests(), 2);
+        let (_, t2) = armed_timer(&mut c, TIMER_CATCHUP);
+        // The reply settles the request…
+        let entries = vec![log_entry(1, &[msg(1, 0)]), log_entry(2, &[msg(1, 1)])];
+        node.on_message(ProcessId::new(1), Envelope::CatchUpReply { entries }, &mut c);
+        assert_eq!(node.decided_frontier(), 2);
+        // …so the now-stale retry is inert: no ghost re-request.
+        node.on_timer(t2, &mut c);
+        assert_eq!(node.catch_up_requests(), 2);
+        // And the already-fired t1 epoch certainly is.
+        node.on_timer(t1, &mut c);
+        assert_eq!(node.catch_up_requests(), 2);
+    }
+
+    #[test]
+    fn frontier_wrapper_is_transparent_when_catch_up_is_off() {
+        let mut node = test_node(1);
+        let mut c = ctx();
+        // A wrapped RB frame from a catch-up peer: the inner frame is
+        // processed normally, the hint ignored, no request issued.
+        node.on_message(
+            ProcessId::new(1),
+            Envelope::WithFrontier {
+                frontier: 9,
+                inner: Box::new(Envelope::Bcast(BcastMsg::Data(msg(1, 0)))),
+            },
+            &mut c,
+        );
+        assert_eq!(node.instance(), 1, "inner data frame proposed as usual");
+        assert_eq!(node.catch_up_requests(), 0);
+        assert!(sends(&mut c)
+            .iter()
+            .all(|(_, m)| !matches!(m, Envelope::CatchUpRequest { .. })));
+    }
+
+    #[test]
+    fn log_entry_waits_for_its_payloads() {
+        let mut node = catchup_node();
+        let mut c = ctx();
+        // Instance 1 decides an id whose payload has not R-delivered yet:
+        // nothing may be logged (the frontier is the *delivered* prefix).
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        assert_eq!(node.delivered_count(), 0);
+        assert_eq!(node.decided_frontier(), 0, "undelivered instance must not be logged");
+        // The payload arrives: delivery completes and the entry lands.
+        deliver_data(&mut node, 1, msg(1, 0), &mut c);
+        assert_eq!(node.delivered_count(), 1);
+        assert_eq!(node.decided_frontier(), 1);
+    }
+
+    #[test]
+    fn restart_resumes_from_the_log_without_redelivering() {
+        // The pre-crash run logged instance 1 (our own m) and 2 (a peer's).
+        let mut log = MemDecidedLog::new();
+        assert!(log.append(log_entry(1, &[msg(0, 0)])));
+        assert!(log.append(log_entry(2, &[msg(1, 0)])));
+        let mut node = catchup_node();
+        node.set_decided_log(Box::new(log));
+        let mut c = ctx();
+        node.on_start(&mut c);
+        assert_eq!(node.decided_frontier(), 2);
+        assert_eq!(delivered_ids(&mut c), vec![], "logged prefix is not re-delivered");
+        // Our own sequence resumes past the logged prefix: no id reuse.
+        node.on_command(AbcastCommand::Broadcast(Payload::zeroed(8)), &mut c);
+        let bid = c
+            .take_actions()
+            .into_iter()
+            .find_map(|a| match a {
+                Action::Output(AbcastEvent::Broadcast { id }) => Some(id),
+                _ => None,
+            })
+            .expect("broadcast assigned an id");
+        assert_eq!(bid, MsgId::new(ProcessId::new(0), 1));
+        // A stale decision for a logged instance is dropped outright.
+        node.handle_decision(1, IdSet::from_ids([msg(9, 9).id()]), &mut c);
+        assert_eq!(node.stale_decisions(), 1);
+        // The next decision applies as instance 3 and extends the log.
+        deliver_decide(&mut node, 3, IdSet::from_ids([msg(1, 5).id()]), &mut c);
+        deliver_data(&mut node, 1, msg(1, 5), &mut c);
+        assert_eq!(node.decided_frontier(), 3);
+        assert!(delivered_ids(&mut c).contains(&msg(1, 5).id()));
+    }
+
+    #[test]
+    fn learner_consumes_the_stream_without_ever_proposing() {
+        let mut node = test_node_with(PipelineConfig::fixed(1).with_learner(true));
+        let mut c = ctx();
+        assert!(node.is_learner());
+        // Commands are ignored: a read replica never feeds the stream.
+        node.on_command(AbcastCommand::Broadcast(Payload::zeroed(8)), &mut c);
+        assert!(c.take_actions().is_empty(), "learner must drop commands");
+        // Consensus traffic is dropped wholesale — no acks, no relays.
+        deliver_decide(&mut node, 1, IdSet::from_ids([msg(1, 0).id()]), &mut c);
+        assert_eq!(node.delivered_count(), 0);
+        assert!(sends(&mut c).is_empty(), "learner must not answer consensus");
+        // The decided stream arrives via frontier + catch-up only.
+        node.on_message(ProcessId::new(1), wrapped_hb(2), &mut c);
+        assert_eq!(node.catch_up_requests(), 1);
+        c.take_actions(); // drop the request frame; what follows is the reply
+        let entries = vec![log_entry(1, &[msg(1, 0)]), log_entry(2, &[msg(1, 1)])];
+        node.on_message(ProcessId::new(1), Envelope::CatchUpReply { entries }, &mut c);
+        let actions = c.take_actions();
+        let delivered: Vec<MsgId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Output(AbcastEvent::Delivered { msg }) => Some(msg.id()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![msg(1, 0).id(), msg(1, 1).id()]);
+        assert_eq!(node.decided_frontier(), 2);
+        assert_eq!(node.in_flight(), 0, "a learner opens no consensus instances");
+        assert!(
+            actions.iter().all(|a| !matches!(a, Action::Send { .. })),
+            "absorbing the stream must not make a learner talk"
+        );
+    }
+
+    /// Regression for the freshness-gate one-shot audit: when the maturity
+    /// estimate *grows* between arming the `TIMER_PROPOSE` wake-up and its
+    /// firing, the candidate set can still be all-fresh at fire time — the
+    /// gate must re-arm from the new estimate, not go dormant until
+    /// unrelated traffic ticks the node.
+    #[test]
+    fn freshness_gate_rearms_when_estimate_grew() {
+        let cfg = PipelineConfig::fixed(1).with_proposal_freshness(true);
+        let mut node = test_node_with(cfg);
+        let mut c = ctx();
+        let delay = Duration::from_millis(20);
+        let now = Time::ZERO + Duration::from_millis(300);
+        let next = warm_flood_ewma(&mut node, &mut c, now, delay);
+        let proposed = node.instance();
+        c.take_actions();
+
+        // A fresh id arrives: held, wake-up armed from the current estimate.
+        let fresh = msg_at(1, next, c.now());
+        deliver_data(&mut node, 1, fresh.clone(), &mut c);
+        assert_eq!(node.instance(), proposed, "fresh id held");
+        let (d1, t1) = armed_timer(&mut c, TIMER_PROPOSE);
+
+        // Before the wake-up fires, a much older id arrives: it is mature
+        // (proposed at once) and its large observation grows the EWMA, so
+        // the armed wake-up now undershoots the new threshold.
+        let old = msg_at(1, next + 1, ago(c.now(), Duration::from_millis(200)));
+        deliver_data(&mut node, 1, old.clone(), &mut c);
+        assert_eq!(node.instance(), proposed + 1, "mature id proposed at once");
+        deliver_decide(&mut node, proposed + 1, IdSet::from_ids([old.id()]), &mut c);
+        c.take_actions();
+
+        // The stale wake-up fires too early for the grown estimate: the
+        // candidate is still all-fresh, so the gate must RE-ARM.
+        c.set_now(c.now() + d1);
+        node.on_timer(t1, &mut c);
+        assert_eq!(node.instance(), proposed + 1, "still fresh at the stale wake-up");
+        assert_eq!(node.unordered_len(), 1, "the id is gated, not lost");
+        let (d2, t2) = armed_timer(&mut c, TIMER_PROPOSE);
+
+        // The re-armed wake-up matures the id with NO background traffic.
+        c.set_now(c.now() + d2);
+        node.on_timer(t2, &mut c);
+        assert_eq!(node.instance(), proposed + 2, "re-armed wake-up proposes");
+        deliver_decide(&mut node, proposed + 2, IdSet::from_ids([fresh.id()]), &mut c);
+        assert!(delivered_ids(&mut c).contains(&fresh.id()));
+        assert_eq!(node.unordered_len(), 0);
     }
 }

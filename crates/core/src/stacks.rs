@@ -199,6 +199,27 @@ impl StackParams {
         self.pipeline.ewma_signal = true;
         self
     }
+
+    /// Turns on the decided log and the catch-up protocol: the node keeps
+    /// an (in-memory by default — see `AbcastNode::set_decided_log` for
+    /// the durable one) append-only log of delivered instances, piggybacks
+    /// its decided frontier on every outbound frame, and range-fetches any
+    /// prefix a peer advertises past its own. Off by default; the
+    /// paper-figure bins stay byte-identical.
+    pub fn with_catch_up(mut self, on: bool) -> Self {
+        self.pipeline = self.pipeline.with_catch_up(on);
+        self
+    }
+
+    /// Learner mode (read replica): the node never broadcasts, proposes,
+    /// or answers consensus — it consumes peer frontiers and catch-up
+    /// batches only. Implies [`StackParams::with_catch_up`]. A learner
+    /// sends no heartbeats either, so heartbeat-FD peers suspect it and
+    /// rotate consensus coordination past it.
+    pub fn with_learner(mut self, on: bool) -> Self {
+        self.pipeline = self.pipeline.with_learner(on);
+        self
+    }
 }
 
 fn make_rb(kind: RbKind) -> Box<dyn Broadcast + Send> {
@@ -415,6 +436,22 @@ mod tests {
         // Orthogonal to the rest of the pipeline config.
         assert_eq!((q.pipeline.w_min, q.pipeline.w_max), (1, 1));
         let _ = indirect_ct(ProcessId::new(0), &q);
+    }
+
+    #[test]
+    fn catch_up_and_learner_toggles() {
+        let p = StackParams::fault_free(3);
+        assert!(!p.pipeline.catch_up, "paper bins default to no catch-up");
+        assert!(!p.pipeline.learner);
+        let q = p.with_catch_up(true);
+        assert!(q.pipeline.catch_up);
+        assert!(!q.pipeline.learner);
+        let r = p.with_learner(true);
+        assert!(r.pipeline.learner);
+        assert!(r.pipeline.catch_up, "learner implies catch-up");
+        let node = indirect_ct(ProcessId::new(0), &r);
+        assert!(node.is_learner());
+        assert_eq!(node.decided_frontier(), 0);
     }
 
     #[test]

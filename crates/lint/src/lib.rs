@@ -47,7 +47,8 @@ pub use flow::analyze_files;
 pub use layering::{check_crate_deps, package_name, parse_dependencies, Dep, LAYERS};
 pub use lexer::{tokenize, Token, TokenKind};
 pub use rules::{
-    lint_source, DETERMINISTIC_CRATES, REMOTE_INPUT_CRATES, RULES, WIRE_CRATES, WIRE_ENUMS,
+    lint_source, DETERMINISTIC_CRATES, REMOTE_INPUT_CRATES, REMOTE_INPUT_FILES, RULES,
+    WIRE_CRATES, WIRE_ENUMS,
 };
 
 use std::collections::BTreeMap;

@@ -20,10 +20,22 @@ pub const DETERMINISTIC_CRATES: &[&str] =
 /// — a malformed frame must poison the connection, not the process.
 pub const REMOTE_INPUT_CRATES: &[&str] = &["net"];
 
+/// Individual files outside [`REMOTE_INPUT_CRATES`] that decode remote (or
+/// crash-torn on-disk) bytes: the envelope codec decodes every frame a
+/// peer sends — the catch-up request/reply paths included — and the
+/// durable decided log re-reads whatever prefix of its file survived a
+/// crash. Both must degrade, never panic (rule P1).
+pub const REMOTE_INPUT_FILES: &[&str] =
+    &["crates/core/src/envelope.rs", "crates/core/src/decided.rs"];
+
 /// Wire-facing enums: a `match` whose patterns name these must not have a
 /// wildcard `_` arm (rule W1) — a new message type must be classified
 /// explicitly, not silently defaulted (e.g. into the Bulk traffic class).
-pub const WIRE_ENUMS: &[&str] = &["Envelope", "ConsMsg", "BcastMsg", "FdMsg"];
+/// The catch-up frames (`CatchUpRequest`/`CatchUpReply`) are `Envelope`
+/// variants — listed here so a match that names them through an imported
+/// path still counts as wire-facing.
+pub const WIRE_ENUMS: &[&str] =
+    &["Envelope", "ConsMsg", "BcastMsg", "FdMsg", "CatchUpRequest", "CatchUpReply"];
 
 /// Crates whose integers can end up on the wire: narrowing `as`-casts are
 /// forbidden here (rule W2) — a silently truncated length or id corrupts
@@ -53,7 +65,8 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let code: Vec<&Token> = non_test_code_tokens(&tokens);
 
     let deterministic = crate_name.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
-    let remote_input = crate_name.is_some_and(|c| REMOTE_INPUT_CRATES.contains(&c));
+    let remote_input = crate_name.is_some_and(|c| REMOTE_INPUT_CRATES.contains(&c))
+        || REMOTE_INPUT_FILES.contains(&rel_path);
 
     if deterministic {
         rule_d1(rel_path, &code, &mut findings);
@@ -733,6 +746,30 @@ fn f(b: bool, buf: &mut Vec<u8>) {\n\
         // Widening int→int at u64 stays quiet (no float evidence).
         let widen = "fn f(x: u32) -> u64 { x as u64 }\n";
         assert!(lint_source("crates/types/src/x.rs", widen).is_empty());
+    }
+
+    #[test]
+    fn p1_covers_the_decode_files_outside_net() {
+        // The envelope codec and the durable decided log decode remote /
+        // crash-torn bytes: a panic there takes the process down on input
+        // it does not control, exactly the hazard P1 exists for.
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }\n";
+        for file in REMOTE_INPUT_FILES {
+            let f = lint_source(file, src);
+            assert_eq!(f.iter().filter(|f| f.rule == "P1").count(), 1, "{file}: {f:?}");
+        }
+        // The rest of `core` keeps its crate-level scope (no P1).
+        assert!(lint_source("crates/core/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn w1_covers_the_catch_up_frames() {
+        // Matching the catch-up variants through an imported path must
+        // still count as wire-facing: a wildcard arm here would silently
+        // drop a future frame kind.
+        let src = "fn f(e: E) -> u32 { match e { CatchUpRequest::X => 1, _ => 0 } }\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "W1").count(), 1, "{f:?}");
     }
 
     #[test]

@@ -59,6 +59,11 @@ where
     outbound: OutboundMesh<N::Msg>,
     flusher_handles: Vec<JoinHandle<()>>,
     reader_handles: Vec<JoinHandle<()>>,
+    /// One `try_clone` of every accepted stream, kept so [`shutdown`]
+    /// (`TcpCluster::shutdown`) can shut the sockets down and unblock
+    /// readers parked in `read()` on a peer that died without closing
+    /// its end.
+    reader_streams: Vec<TcpStream>,
 }
 
 /// `outbound[i][j]`: the queue feeding the `i → j` connection's flusher
@@ -446,12 +451,15 @@ where
             .collect();
 
         let mut reader_handles = Vec::new();
+        let mut reader_streams = Vec::new();
         for (j, listener) in listeners.into_iter().enumerate() {
             for _ in 0..(n - 1) {
                 // lint:allow(P1): bootstrap accept, documented panic, no remote input yet
                 let (stream, _) = listener.accept().expect("accept peer connection");
                 // lint:allow(P1): bootstrap, documented panic, no remote input yet
                 stream.set_nodelay(true).expect("nodelay");
+                // lint:allow(P1): bootstrap, documented panic, no remote input yet
+                reader_streams.push(stream.try_clone().expect("clone reader stream"));
                 let inject = injectors[j].clone();
                 reader_handles.push(std::thread::spawn(move || {
                     reader_loop::<N>(stream, inject);
@@ -459,7 +467,7 @@ where
             }
         }
 
-        TcpCluster { inner, outbound, flusher_handles, reader_handles }
+        TcpCluster { inner, outbound, flusher_handles, reader_handles, reader_streams }
     }
 
     /// Sends an application command to process `p`.
@@ -485,6 +493,13 @@ where
             let _ = h.join();
         }
         self.inner.shutdown();
+        // A reader whose peer died *without* closing its socket (a hung or
+        // killed flusher never reaches its own shutdown call) stays parked
+        // in `read()` forever; shutting the accepted sockets down here
+        // forces those reads to return, so the joins below can never hang.
+        for s in &self.reader_streams {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
         for h in self.reader_handles {
             let _ = h.join();
         }
@@ -599,6 +614,38 @@ mod tests {
             "no frame may be delivered after a decode error"
         );
         reader.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_unblocks_a_reader_stuck_on_a_silent_peer() {
+        // A peer that dies without closing its socket (hung flusher, killed
+        // process) leaves the reader parked in read(); shutting the
+        // accepted socket down — what TcpCluster::shutdown now does before
+        // joining — must force that read to return.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let shutdown_handle = server.try_clone().unwrap();
+        let (tx, rx) = unbounded::<(ProcessId, Num)>();
+        let (done_tx, done_rx) = unbounded::<()>();
+        std::thread::spawn(move || {
+            reader_loop::<Echo>(server, tx);
+            let _ = done_tx.send(());
+        });
+        // Handshake, then silence: the reader is now blocked in read().
+        client.write_all(&1u16.to_le_bytes()).unwrap();
+        assert!(
+            done_rx.recv_timeout(std::time::Duration::from_millis(100)).is_err(),
+            "reader must still be blocked on the silent peer"
+        );
+        shutdown_handle.shutdown(std::net::Shutdown::Both).unwrap();
+        assert!(
+            done_rx.recv_timeout(std::time::Duration::from_secs(5)).is_ok(),
+            "socket shutdown must unblock the reader"
+        );
+        drop(client);
+        drop(rx);
     }
 
     #[test]

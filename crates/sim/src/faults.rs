@@ -33,6 +33,7 @@ use iabc_types::{ProcessId, Time};
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrashSchedule {
     crashes: Vec<(ProcessId, Time)>,
+    restarts: Vec<(ProcessId, Time)>,
 }
 
 impl CrashSchedule {
@@ -55,9 +56,32 @@ impl CrashSchedule {
         self
     }
 
+    /// Adds a crash of `p` at `at` followed by a restart at `restart_at`
+    /// (builder style). At restart the world replaces `p`'s node with a
+    /// freshly built one (the node factory runs again) and calls its
+    /// `on_start` — modelling a process that reboots with empty volatile
+    /// state and recovers from whatever it persisted (see
+    /// `iabc_core::DurableDecidedLog`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` already has a scheduled crash or if `restart_at` is
+    /// not after `at`.
+    pub fn crash_restart(mut self, p: ProcessId, at: Time, restart_at: Time) -> Self {
+        assert!(restart_at > at, "restart must come after the crash");
+        self = self.crash(p, at);
+        self.restarts.push((p, restart_at));
+        self
+    }
+
     /// The scheduled crashes.
     pub fn crashes(&self) -> &[(ProcessId, Time)] {
         &self.crashes
+    }
+
+    /// The scheduled restarts.
+    pub fn restarts(&self) -> &[(ProcessId, Time)] {
+        &self.restarts
     }
 
     /// Whether `p` is scheduled to crash at some point.
@@ -71,9 +95,9 @@ impl CrashSchedule {
     }
 }
 
-/// A complete fault plan for a run. Currently crash-only (the paper's model
-/// has no Byzantine or recovery behaviour); message drops are configured on
-/// the world directly because they need access to the message type.
+/// A complete fault plan for a run: crashes, optionally followed by
+/// restarts (crash-recovery). Message drops are configured on the world
+/// directly because they need access to the message type.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Scheduled crashes.
@@ -119,5 +143,26 @@ mod tests {
     #[test]
     fn default_plan_is_fault_free() {
         assert_eq!(FaultPlan::none().crashes.fault_count(), 0);
+        assert!(FaultPlan::none().crashes.restarts().is_empty());
+    }
+
+    #[test]
+    fn crash_restart_schedules_both_events() {
+        let t1 = Time::ZERO + Duration::from_millis(5);
+        let t2 = Time::ZERO + Duration::from_millis(20);
+        let s = CrashSchedule::new().crash_restart(ProcessId::new(2), t1, t2);
+        assert_eq!(s.crashes(), &[(ProcessId::new(2), t1)]);
+        assert_eq!(s.restarts(), &[(ProcessId::new(2), t2)]);
+        assert!(s.is_faulty(ProcessId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must come after the crash")]
+    fn restart_before_crash_panics() {
+        let _ = CrashSchedule::new().crash_restart(
+            ProcessId::new(0),
+            Time::ZERO + Duration::from_millis(5),
+            Time::ZERO + Duration::from_millis(5),
+        );
     }
 }

@@ -47,8 +47,13 @@ enum SimEvent<M, C> {
     RecvCpuDone { from: ProcessId, to: ProcessId, msg: M },
     /// A self-send arriving through the loop-back path.
     LoopbackArrive { p: ProcessId, msg: M },
-    TimerFired { p: ProcessId, timer: TimerId },
+    /// Carries the process's timer epoch at arming time: timers armed
+    /// before a crash must not fire into the replacement node.
+    TimerFired { p: ProcessId, timer: TimerId, epoch: u64 },
     Crash { p: ProcessId },
+    /// Swap in the pre-built replacement node and call its `on_start`
+    /// (crash-recovery; see [`SimWorld::schedule_restart`]).
+    Restart { p: ProcessId },
     /// A classed resource finished its in-service job and may start the
     /// next queued one (priority-lane mode only; see [`HostRes`]).
     ResourceFree { p: ProcessId, kind: ResKind },
@@ -262,6 +267,8 @@ impl SimBuilder {
             n: self.n,
             params: self.params,
             nodes,
+            replacements: (0..self.n).map(|_| None).collect(),
+            epoch: vec![0; self.n],
             crashed: vec![false; self.n],
             cpu: make_res(),
             nic_tx: make_res(),
@@ -284,6 +291,13 @@ impl SimBuilder {
         for &(p, at) in self.faults.crashes.crashes() {
             world.schedule_crash(p, at);
         }
+        // Restarting processes reboot with empty volatile state: the
+        // factory runs again, so anything the test wants to survive must
+        // live outside the node (e.g. a durable decided log on disk).
+        for &(p, at) in self.faults.crashes.restarts() {
+            let node = factory(p);
+            world.schedule_restart(p, at, node);
+        }
         world
     }
 }
@@ -297,6 +311,11 @@ pub struct SimWorld<N: Node> {
     n: usize,
     params: NetworkParams,
     nodes: Vec<N>,
+    /// Pre-built replacement nodes, consumed by [`SimEvent::Restart`].
+    replacements: Vec<Option<N>>,
+    /// Per-process timer epoch, bumped at restart: timers armed by the
+    /// crashed incarnation must not fire into the replacement node.
+    epoch: Vec<u64>,
     crashed: Vec<bool>,
     cpu: Vec<HostRes<N::Msg, N::Command>>,
     nic_tx: Vec<HostRes<N::Msg, N::Command>>,
@@ -381,6 +400,26 @@ impl<N: Node> SimWorld<N> {
         self.queue.push(at, SimEvent::Crash { p });
     }
 
+    /// Schedules a restart of process `p` at time `at`, replacing its node
+    /// with `node` (built fresh by the caller — volatile state is lost;
+    /// durable state is whatever `node`'s construction recovers, e.g. a
+    /// reopened decided log). The replacement's `on_start` runs at `at`;
+    /// timers armed by the crashed incarnation never reach it.
+    ///
+    /// The restart is a no-op if `p` is not crashed when `at` arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or if `p` already has a pending
+    /// replacement.
+    pub fn schedule_restart(&mut self, p: ProcessId, at: Time, node: N) {
+        assert!(at >= self.now, "cannot schedule a restart in the past");
+        let slot = &mut self.replacements[p.as_usize()];
+        assert!(slot.is_none(), "process {p} already has a pending restart");
+        *slot = Some(node);
+        self.queue.push(at, SimEvent::Restart { p });
+    }
+
     /// Installs a message drop filter: any `Send` whose
     /// `(from, to, msg)` the filter maps to `true` is silently lost.
     ///
@@ -450,13 +489,27 @@ impl<N: Node> SimWorld<N> {
             SimEvent::Crash { p } => {
                 self.crashed[p.as_usize()] = true;
             }
+            SimEvent::Restart { p } => {
+                let pi = p.as_usize();
+                if !self.crashed[pi] {
+                    return; // never crashed (or already restarted): no-op
+                }
+                let Some(node) = self.replacements[pi].take() else { return };
+                self.crashed[pi] = false;
+                // Invalidate every timer armed by the dead incarnation
+                // *before* on_start, so the new node's own timers arm
+                // under the fresh epoch.
+                self.epoch[pi] += 1;
+                self.nodes[pi] = node;
+                self.with_node(p, |node, ctx| node.on_start(ctx));
+            }
             SimEvent::Command { p, cmd } => {
                 if self.alive(p) {
                     self.with_node(p, |node, ctx| node.on_command(cmd, ctx));
                 }
             }
-            SimEvent::TimerFired { p, timer } => {
-                if self.alive(p) {
+            SimEvent::TimerFired { p, timer, epoch } => {
+                if self.alive(p) && epoch == self.epoch[p.as_usize()] {
                     self.with_node(p, |node, ctx| node.on_timer(timer, ctx));
                 }
             }
@@ -628,7 +681,8 @@ impl<N: Node> SimWorld<N> {
                 }
             }
             Action::SetTimer { delay, timer } => {
-                self.queue.push(self.now + delay, SimEvent::TimerFired { p, timer });
+                let epoch = self.epoch[p.as_usize()];
+                self.queue.push(self.now + delay, SimEvent::TimerFired { p, timer, epoch });
             }
             Action::Work { duration } => {
                 // Protocol bookkeeping (rcv checks, propose/order costs)
@@ -771,6 +825,67 @@ mod tests {
         w.run_to_quiescence();
         assert_eq!(w.outputs().len(), 0);
         assert!(w.stats().messages_lost_to_crash > 0);
+    }
+
+    #[test]
+    fn restart_swaps_in_a_fresh_node_and_drops_stale_timers() {
+        // A node that arms a long timer at start and outputs on fire; the
+        // replacement must only see its own (epoch-fresh) timer.
+        struct Epochal(u8);
+        impl Node for Epochal {
+            type Msg = Byte;
+            type Command = u8;
+            type Output = (u8, u64);
+            fn on_start(&mut self, ctx: &mut Context<Byte, (u8, u64)>) {
+                ctx.set_timer(Duration::from_millis(10), TimerId::new(1, u64::from(self.0)));
+            }
+            fn on_command(&mut self, cmd: u8, ctx: &mut Context<Byte, (u8, u64)>) {
+                ctx.send_to_all(Byte(cmd));
+            }
+            fn on_message(&mut self, _f: ProcessId, m: Byte, ctx: &mut Context<Byte, (u8, u64)>) {
+                ctx.output((self.0, u64::from(m.0)));
+            }
+            fn on_timer(&mut self, t: TimerId, ctx: &mut Context<Byte, (u8, u64)>) {
+                ctx.output((self.0, t.data()));
+            }
+        }
+        use crate::faults::CrashSchedule;
+        let crash_at = Time::ZERO + Duration::from_millis(1);
+        let restart_at = Time::ZERO + Duration::from_millis(5);
+        let mut incarnation = 0u8;
+        let mut w = SimBuilder::new(2, NetworkParams::setup1())
+            .faults(FaultPlan::with_crashes(
+                CrashSchedule::new().crash_restart(p(1), crash_at, restart_at),
+            ))
+            .build(|q| {
+                // The factory runs once per process plus once for p1's
+                // replacement; tag incarnations so outputs distinguish them.
+                if q == p(1) {
+                    incarnation += 1;
+                    Epochal(incarnation)
+                } else {
+                    Epochal(0)
+                }
+            });
+        // A fan-out after the restart reaches the *new* node.
+        w.schedule_command(p(0), Time::ZERO + Duration::from_millis(8), 7);
+        w.run_to_quiescence();
+        assert!(!w.is_crashed(p(1)));
+        let p1_outputs: Vec<(u8, u64)> = w
+            .outputs()
+            .iter()
+            .filter(|r| r.process == p(1))
+            .map(|r| r.output)
+            .collect();
+        // The crashed incarnation (1) armed its timer before dying: that
+        // timer must NOT fire into incarnation 2. Incarnation 2's own
+        // timer (data = 2) and the post-restart delivery both appear.
+        assert!(p1_outputs.contains(&(2, 2)), "replacement's own timer fires");
+        assert!(p1_outputs.contains(&(2, 7)), "replacement receives messages");
+        assert!(
+            p1_outputs.iter().all(|&(inc, _)| inc == 2),
+            "no output may come from the dead incarnation: {p1_outputs:?}"
+        );
     }
 
     #[test]

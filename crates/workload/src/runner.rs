@@ -75,6 +75,11 @@ pub struct WorkloadSpec {
     /// Whether proposals exclude ids younger than ~one measured flood
     /// delay (see `iabc_core::PipelineConfig::proposal_freshness`).
     pub proposal_freshness: bool,
+    /// Whether the stack runs the decided log and the catch-up protocol
+    /// (frontier piggyback on every frame, range-fetch of missed
+    /// instances). `false` is the paper's protocol, byte-identical on the
+    /// wire.
+    pub catch_up: bool,
 }
 
 impl WorkloadSpec {
@@ -100,6 +105,7 @@ impl WorkloadSpec {
             priority_lane: false,
             ewma_signal: false,
             proposal_freshness: false,
+            catch_up: false,
         }
     }
 
@@ -182,6 +188,13 @@ impl WorkloadSpec {
         self.ewma_signal = true;
         self
     }
+
+    /// Turns on the decided log and the catch-up protocol (see
+    /// `iabc_core::stacks::StackParams::with_catch_up`).
+    pub fn with_catch_up(mut self, on: bool) -> Self {
+        self.catch_up = on;
+        self
+    }
 }
 
 /// The outcome of one experiment run.
@@ -249,6 +262,17 @@ pub struct ExperimentResult {
     pub batch_trajectory: Vec<(f64, usize)>,
     /// Process 0's batch size when the run ended.
     pub final_batch: usize,
+    /// Catch-up requests issued, summed over all processes (0 when the
+    /// catch-up protocol is off — fault-free runs should stay near 0 past
+    /// the start-up probes even with it on).
+    pub catch_up_requests: u64,
+    /// Decided entries learned through catch-up replies (instances ahead
+    /// of the receiver's apply cursor on arrival), summed over all
+    /// processes.
+    pub caught_up_entries: u64,
+    /// The lowest decided frontier over all processes when the run ended
+    /// (0 when catch-up is off): how far the most lagging log can serve.
+    pub min_decided_frontier: u64,
 }
 
 impl ExperimentResult {
@@ -473,6 +497,12 @@ where
         ProcessId::all(spec.n).map(|p| world.node(p).capped_proposals()).sum();
     let nacked_rounds = ProcessId::all(spec.n).map(|p| world.node(p).nacked_rounds()).sum();
     let freshness_held = ProcessId::all(spec.n).map(|p| world.node(p).freshness_held()).sum();
+    let catch_up_requests =
+        ProcessId::all(spec.n).map(|p| world.node(p).catch_up_requests()).sum();
+    let caught_up_entries =
+        ProcessId::all(spec.n).map(|p| world.node(p).caught_up_entries()).sum();
+    let min_decided_frontier =
+        ProcessId::all(spec.n).map(|p| world.node(p).decided_frontier()).min().unwrap_or(0);
     let (latency_sum, latency_count) = ProcessId::all(spec.n)
         .map(|p| world.node(p).decision_latencies())
         .fold((Duration::ZERO, 0u64), |(s, c), (ds, dc)| (s + ds, c + dc));
@@ -507,6 +537,9 @@ where
         freshness_held,
         final_batch: coalescers[0].current(),
         batch_trajectory,
+        catch_up_requests,
+        caught_up_entries,
+        min_decided_frontier,
     }
 }
 
@@ -545,6 +578,9 @@ pub fn run_variant(
     }
     if spec.proposal_freshness {
         params = params.with_proposal_freshness(true);
+    }
+    if spec.catch_up {
+        params = params.with_catch_up(true);
     }
     match (variant, family) {
         (VariantKind::Indirect, ConsensusFamily::Ct) => {
@@ -882,6 +918,47 @@ mod tests {
         assert_eq!(r.missing_pairs, 0, "the gate must never strand a payload");
         // The run is long enough past warm-up that the gate engages.
         assert!(r.freshness_held > 0, "gate never engaged at 400/s");
+    }
+
+    #[test]
+    fn catch_up_run_logs_everything_and_baselines_report_zero() {
+        let net = NetworkParams::setup1();
+        let cost = CostModel::setup1();
+        let base = quick_spec(3, 80.0, 16);
+        let off = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &net,
+            cost,
+            &base,
+        );
+        assert_eq!(off.catch_up_requests, 0, "catch-up metrics must be inert by default");
+        assert_eq!(off.caught_up_entries, 0);
+        assert_eq!(off.min_decided_frontier, 0);
+
+        let on = run_variant(
+            VariantKind::Indirect,
+            ConsensusFamily::Ct,
+            RbKind::EagerN2,
+            &net,
+            cost,
+            &base.clone().with_catch_up(true),
+        );
+        assert_eq!(on.missing_pairs, 0, "catch-up run lost deliveries");
+        assert_eq!(
+            on.delivered_payload_pairs, off.delivered_payload_pairs,
+            "catch-up must not change what a fault-free run delivers"
+        );
+        // Every process logged the full decision sequence...
+        assert!(on.min_decided_frontier > 0, "no process logged anything");
+        // ...without leaning on range-fetches: only the start-up probes
+        // (one burst of n-1 per process) fire in a fault-free run.
+        assert!(
+            on.caught_up_entries <= 3,
+            "fault-free run caught up {} entries",
+            on.caught_up_entries
+        );
     }
 
     #[test]

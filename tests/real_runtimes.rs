@@ -86,6 +86,81 @@ fn tcp_cluster_totally_orders() {
 }
 
 #[test]
+fn tcp_cluster_kill_and_respawn_catches_up_from_the_durable_log() {
+    use indirect_abcast::core::{DecidedLog, DurableDecidedLog};
+
+    let n = 3;
+    let dir = std::env::temp_dir().join(format!("iabc-respawn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = |p: usize| dir.join(format!("decided-{p}.log"));
+
+    let params = StackParams::fault_free(n).with_catch_up(true);
+    let start_cluster = || {
+        TcpCluster::start(n, |p| {
+            let mut node = stacks::indirect_ct(p, &params);
+            node.set_decided_log(Box::new(
+                DurableDecidedLog::open(log_path(p.as_usize())).unwrap(),
+            ));
+            node
+        })
+    };
+
+    // Phase 1: a healthy run; every process logs what it a-delivers.
+    let mut cluster = start_cluster();
+    for i in 0..6u16 {
+        cluster.send_command(
+            ProcessId::new(i % 3),
+            AbcastCommand::Broadcast(Payload::from(vec![i as u8; 24])),
+        );
+    }
+    let outputs = cluster.run_for(std::time::Duration::from_millis(1500));
+    cluster.shutdown();
+    let delivered = outputs
+        .iter()
+        .filter(|o| matches!(o.output, AbcastEvent::Delivered { .. }))
+        .count();
+    assert_eq!(delivered, 6 * n, "phase 1 must deliver everything: {outputs:?}");
+
+    // "Kill" process 2: chop its log mid-record, exactly as a crash in the
+    // middle of an append would. Reopening recovers the longest valid
+    // prefix, leaving the victim behind its peers.
+    let victim = log_path(2);
+    let len = std::fs::metadata(&victim).unwrap().len();
+    assert!(len > 2, "the victim must have logged something in phase 1");
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&victim)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+    let truncated: DurableDecidedLog<IdSet> = DurableDecidedLog::open(&victim).unwrap();
+    let behind = truncated.frontier();
+    drop(truncated);
+
+    // Respawn on the same log paths, with no new application traffic: the
+    // victim resumes from its recovered prefix, learns the peers' frontiers
+    // from the start-up probe, and range-fetches the missing suffix over
+    // real sockets.
+    let mut cluster = start_cluster();
+    let _ = cluster.run_for(std::time::Duration::from_millis(800));
+    cluster.shutdown();
+
+    let survivor: DurableDecidedLog<IdSet> = DurableDecidedLog::open(log_path(0)).unwrap();
+    let caught_up: DurableDecidedLog<IdSet> = DurableDecidedLog::open(&victim).unwrap();
+    assert!(survivor.frontier() >= 1, "survivor logged nothing");
+    assert!(
+        caught_up.frontier() >= survivor.frontier(),
+        "victim (restarted at frontier {behind}) must catch back up: {} < {}",
+        caught_up.frontier(),
+        survivor.frontier()
+    );
+    for k in 1..=survivor.frontier() {
+        assert_eq!(survivor.get(k), caught_up.get(k), "logs must agree on instance {k}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn tcp_cluster_carries_large_payloads() {
     let n = 3;
     let params = StackParams::fault_free(n);

@@ -1,0 +1,180 @@
+//! Crash-recovery and read-replica integration tests: a restarted process
+//! resumes from its durable decided log and range-fetches the instances it
+//! missed; a learner converges to the same delivered sequence without ever
+//! proposing.
+
+use indirect_abcast::core::{DecidedLog, DurableDecidedLog};
+use indirect_abcast::prelude::*;
+
+fn hb(n: usize) -> StackParams {
+    StackParams::with_heartbeat(n, Duration::from_millis(10), Duration::from_millis(60))
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("iabc-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn restarted_process_rejoins_from_its_durable_log() {
+    // p2 crashes mid-run and restarts later from its durable log: the
+    // replacement node reloads the logged prefix (no re-delivery), learns
+    // the survivors' frontiers, range-fetches everything decided while it
+    // was down, and then follows live traffic again. Its concatenated
+    // a-delivery sequence (first incarnation + restarted one) must be
+    // byte-identical to the survivors'.
+    let n = 3;
+    let victim = ProcessId::new(2);
+    let dir = tmp_dir("rejoin");
+    let params = hb(n).with_catch_up(true);
+
+    let schedule = CrashSchedule::new().crash_restart(
+        victim,
+        Time::ZERO + Duration::from_millis(40),
+        Time::ZERO + Duration::from_millis(300),
+    );
+    let dir_for_factory = dir.clone();
+    let mut world = SimBuilder::new(n, NetworkParams::setup1())
+        .faults(FaultPlan::with_crashes(schedule))
+        .build(move |p| {
+            let mut node = stacks::indirect_ct(p, &params);
+            let path = dir_for_factory.join(format!("decided-{}.log", p.as_usize()));
+            node.set_decided_log(Box::new(DurableDecidedLog::open(path).unwrap()));
+            node
+        });
+
+    // One broadcast from the victim well before its crash (so its seq
+    // counter must survive the restart), then survivor traffic that keeps
+    // flowing through the downtime — and goes quiet well before the
+    // restart, so every downtime broadcast is decided and logged by the
+    // survivors by the time the victim asks for the missing range.
+    world.schedule_command(
+        victim,
+        Time::ZERO + Duration::from_millis(5),
+        AbcastCommand::Broadcast(Payload::zeroed(16)),
+    );
+    for i in 0..12u64 {
+        world.schedule_command(
+            ProcessId::new((i % 2) as u16),
+            Time::ZERO + Duration::from_millis(12 * i + 3),
+            AbcastCommand::Broadcast(Payload::zeroed(16)),
+        );
+    }
+    // Live traffic after the rejoin, including a fresh broadcast from the
+    // restarted victim: its recovered seq counter must not reuse an id.
+    for i in 0..4u64 {
+        world.schedule_command(
+            ProcessId::new((i % 2) as u16),
+            Time::ZERO + Duration::from_millis(400 + 15 * i),
+            AbcastCommand::Broadcast(Payload::zeroed(16)),
+        );
+    }
+    world.schedule_command(
+        victim,
+        Time::ZERO + Duration::from_millis(430),
+        AbcastCommand::Broadcast(Payload::zeroed(16)),
+    );
+    world.run_until(Time::ZERO + Duration::from_secs(10));
+
+    // The restart actually exercised the catch-up path.
+    assert!(
+        world.node(victim).catch_up_requests() > 0,
+        "the restarted victim never issued a catch-up request"
+    );
+    assert!(
+        world.node(victim).caught_up_entries() > 0,
+        "the restarted victim learned nothing through catch-up"
+    );
+
+    let mut checker = AbcastChecker::new(n);
+    for rec in world.outputs() {
+        checker.record(rec.process, &rec.output);
+    }
+    // All 18 broadcasts were accepted by processes that were up at the
+    // time, and the victim recovered: nobody is excused.
+    let violations = checker.check_complete(&[false, false, false]);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    let seqs = checker.sequences();
+    assert_eq!(seqs[0], seqs[1], "survivors disagree");
+    assert_eq!(
+        seqs[2], seqs[0],
+        "the victim's concatenated sequence must be byte-identical to the survivors'"
+    );
+    assert_eq!(seqs[0].len() as u64, 18, "some broadcast was never delivered");
+
+    // And the victim's durable log converged to the survivors' content.
+    drop(world);
+    let read = |p: u16| {
+        DurableDecidedLog::<IdSet>::open(dir.join(format!("decided-{p}.log"))).unwrap()
+    };
+    let survivor = read(0);
+    let rejoined = read(2);
+    assert!(survivor.frontier() >= 1);
+    assert!(
+        rejoined.frontier() >= survivor.frontier(),
+        "rejoined log stopped at {} < {}",
+        rejoined.frontier(),
+        survivor.frontier()
+    );
+    for k in 1..=survivor.frontier() {
+        assert_eq!(survivor.get(k), rejoined.get(k), "logs disagree on instance {k}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn learner_converges_without_ever_proposing() {
+    // p3 is a learner (read replica): it never broadcasts, proposes, or
+    // acks — the three actives keep a quorum of 3 among themselves (the
+    // heartbeat FD suspects the silent learner and rotates coordination
+    // past it) — yet p3 a-delivers the exact same sequence, learned purely
+    // from frontier piggybacks and catch-up batches.
+    let n = 4;
+    let learner = ProcessId::new(3);
+    let active_params = hb(n).with_catch_up(true);
+    let learner_params = hb(n).with_learner(true);
+    let mut world = SimBuilder::new(n, NetworkParams::setup1()).build(|p| {
+        if p == learner {
+            stacks::indirect_ct(p, &learner_params)
+        } else {
+            stacks::indirect_ct(p, &active_params)
+        }
+    });
+    for i in 0..15u64 {
+        world.schedule_command(
+            ProcessId::new((i % 3) as u16),
+            Time::ZERO + Duration::from_millis(11 * i + 2),
+            AbcastCommand::Broadcast(Payload::zeroed(16)),
+        );
+    }
+    world.run_until(Time::ZERO + Duration::from_secs(10));
+
+    let node = world.node(learner);
+    assert!(node.is_learner());
+    assert!(node.caught_up_entries() > 0, "the learner learned nothing through catch-up");
+    // No instance was ever proposed locally: nothing in flight, and the
+    // decision-latency metric (which only counts locally proposed
+    // instances) never ticked.
+    assert_eq!(node.in_flight(), 0, "a learner must never propose");
+    assert_eq!(node.decision_latency_stats().1, 0, "a learner must never propose");
+
+    let mut checker = AbcastChecker::new(n);
+    let mut learner_broadcasts = 0;
+    for rec in world.outputs() {
+        if rec.process == learner && matches!(rec.output, AbcastEvent::Broadcast { .. }) {
+            learner_broadcasts += 1;
+        }
+        checker.record(rec.process, &rec.output);
+    }
+    assert_eq!(learner_broadcasts, 0, "a learner must never a-broadcast");
+    assert!(checker.check_safety().is_empty());
+    let seqs = checker.sequences();
+    assert_eq!(seqs[0].len() as u64, 15, "actives did not deliver everything");
+    assert_eq!(seqs[0], seqs[1]);
+    assert_eq!(seqs[1], seqs[2]);
+    assert_eq!(
+        seqs[3], seqs[0],
+        "the learner's sequence must match the actives' byte for byte"
+    );
+}
