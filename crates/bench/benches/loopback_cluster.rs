@@ -1,0 +1,409 @@
+//! Loop-back TCP transport throughput: event-driven vs thread-per-connection.
+//!
+//! Measures sustained frames/s and bytes/s of a windowed data/ack pump
+//! between two local processes, over the full grid
+//! `{event, threaded} × {64 B, 1 KiB, 16 KiB} × {lane on, lane off}`:
+//!
+//! * **arch** — the event-driven `TcpCluster` (one poll-loop I/O thread
+//!   per process, pooled buffers, decode-in-place) against the
+//!   thread-per-connection `ThreadedTcpCluster` control (blocking reader
+//!   + flusher + injector threads, `FrameBuffer` re-assembly copy).
+//! * **payload** — 64 B is the wakeup-dominated regime the event loop
+//!   targets (per-frame thread hops dominate); 16 KiB is bandwidth-bound
+//!   (both transports converge toward memcpy speed).
+//! * **lane** — with the lane on, acks ride the ordering lane ahead of
+//!   bulk data; off, everything shares the bulk lane.
+//!
+//! Writes `results/BENCH_loopback.json`. The absolute frames/s rows are
+//! machine-dependent and deliberately carry **no** `delivered_per_sec`
+//! field, so the `bench_trend` parser skips them; the hardware-independent
+//! *speedup ratio* at the 64 B point is emitted as two extra gated rows
+//! (`speedup_lane_{on,off}`, ratio × 1000 in `delivered_per_sec`, capped
+//! at [`RATIO_CAP`]) — with the 20% trend allowance, the gate floor is
+//! exactly 2.0×, the bound this bench also asserts directly.
+//!
+//! Run with `--smoke` for the scaled-down CI grid.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use iabc_net::{TcpCluster, ThreadedTcpCluster};
+use iabc_runtime::{Context, Node};
+use iabc_types::{CodecError, Decode, Encode, ProcessId, TrafficClass, WireSize};
+
+/// Speedup ratios are clamped to this before hitting the JSON, so the
+/// trend gate tracks "comfortably above 2×" instead of chasing
+/// machine-specific ratios: `2.5 × (1 - 0.20) = 2.0`.
+const RATIO_CAP: f64 = 2.5;
+
+/// Cluster size. All `n·(n−1)` links run the pump concurrently: the
+/// threaded transport needs `2·(n−1)` blocking I/O threads plus an
+/// injector per process — 264 threads at n = 12, every one of them waking
+/// per frame — vs one event loop per process (24 threads total). Exactly
+/// the per-thread wakeup overhead the event rewrite removes.
+const N: usize = 12;
+
+/// Outstanding data frames per destination. One: every data frame is its
+/// own wakeup chain (reader → node → flusher in the threaded transport),
+/// which is the wakeup-dominated regime the event loop targets. Deeper
+/// windows let the threaded flusher coalesce its way out of trouble —
+/// both transports converge toward batch-amortized throughput there (the
+/// 16 KiB payload row shows the same convergence by bandwidth instead).
+const WINDOW: usize = 1;
+
+/// One pump frame: `Data` carries the padding payload 0 → 1, `Ack`
+/// confirms a sequence number 1 → 0. With the lane on, acks are
+/// `Ordering`-class and jump the bulk backlog.
+#[derive(Clone, Debug)]
+enum PumpMsg {
+    Data { seq: u64, lane_on: bool, payload: Vec<u8> },
+    Ack { seq: u64, lane_on: bool },
+}
+
+impl WireSize for PumpMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            PumpMsg::Data { payload, .. } => 1 + 8 + 1 + 4 + payload.len(),
+            PumpMsg::Ack { .. } => 1 + 8 + 1,
+        }
+    }
+    fn traffic_class(&self) -> TrafficClass {
+        match self {
+            PumpMsg::Data { .. } => TrafficClass::Bulk,
+            PumpMsg::Ack { lane_on: true, .. } => TrafficClass::Ordering,
+            PumpMsg::Ack { lane_on: false, .. } => TrafficClass::Bulk,
+        }
+    }
+}
+
+impl Encode for PumpMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PumpMsg::Data { seq, lane_on, payload } => {
+                0u8.encode(buf);
+                seq.encode(buf);
+                lane_on.encode(buf);
+                (payload.len() as u32).encode(buf);
+                buf.extend_from_slice(payload);
+            }
+            PumpMsg::Ack { seq, lane_on } => {
+                1u8.encode(buf);
+                seq.encode(buf);
+                lane_on.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for PumpMsg {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => {
+                let seq = u64::decode(buf)?;
+                let lane_on = bool::decode(buf)?;
+                let len = u32::decode(buf)? as usize;
+                if buf.len() < len {
+                    return Err(CodecError::Truncated { need: len, have: buf.len() });
+                }
+                let (body, rest) = buf.split_at(len);
+                let payload = body.to_vec();
+                *buf = rest;
+                Ok(PumpMsg::Data { seq, lane_on, payload })
+            }
+            1 => {
+                let seq = u64::decode(buf)?;
+                let lane_on = bool::decode(buf)?;
+                Ok(PumpMsg::Ack { seq, lane_on })
+            }
+            tag => Err(CodecError::InvalidTag { tag, context: "PumpMsg" }),
+        }
+    }
+}
+
+/// Every process pumps `per_pair` data frames to *each* peer, keeping
+/// [`WINDOW`] outstanding per destination (refill one per ack), acks every
+/// data frame it receives, and outputs once all of its own data frames are
+/// acked. All `n·(n−1)` links are busy concurrently.
+struct Pump {
+    me: ProcessId,
+    per_pair: u64,
+    payload_len: usize,
+    lane_on: bool,
+    /// Next unsent sequence number toward each peer.
+    next_seq: Vec<u64>,
+    acked: u64,
+}
+
+impl Pump {
+    fn data(&self, seq: u64) -> PumpMsg {
+        PumpMsg::Data {
+            seq,
+            lane_on: self.lane_on,
+            payload: vec![(seq % 251) as u8; self.payload_len],
+        }
+    }
+}
+
+impl Node for Pump {
+    type Msg = PumpMsg;
+    type Command = ();
+    type Output = ();
+
+    fn on_command(&mut self, _cmd: (), ctx: &mut Context<PumpMsg, ()>) {
+        for peer in 0..N {
+            let to = ProcessId::new(peer as u16);
+            if to == self.me {
+                continue;
+            }
+            let burst = (WINDOW as u64).min(self.per_pair);
+            for _ in 0..burst {
+                let msg = self.data(self.next_seq[peer]);
+                self.next_seq[peer] += 1;
+                ctx.send(to, msg);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: PumpMsg, ctx: &mut Context<PumpMsg, ()>) {
+        match msg {
+            PumpMsg::Data { seq, lane_on, .. } => {
+                ctx.send(from, PumpMsg::Ack { seq, lane_on });
+            }
+            PumpMsg::Ack { .. } => {
+                self.acked += 1;
+                let peer = from.as_usize();
+                if self.next_seq[peer] < self.per_pair {
+                    let msg = self.data(self.next_seq[peer]);
+                    self.next_seq[peer] += 1;
+                    ctx.send(from, msg);
+                }
+                if self.acked == (N as u64 - 1) * self.per_pair {
+                    ctx.output(());
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Arch {
+    Event,
+    Threaded,
+}
+
+impl Arch {
+    fn label(self) -> &'static str {
+        match self {
+            Arch::Event => "event",
+            Arch::Threaded => "threaded",
+        }
+    }
+}
+
+/// One measured grid point.
+struct LoopbackPoint {
+    arch: Arch,
+    payload: usize,
+    lane_on: bool,
+    frames_per_sec: f64,
+    bytes_per_sec: f64,
+}
+
+/// Wire bytes of one data frame: 4-byte length prefix + 2-byte sender tag
+/// + the `PumpMsg::Data` body.
+fn data_frame_wire_bytes(payload: usize) -> usize {
+    4 + 2 + 1 + 8 + 1 + 4 + payload
+}
+
+fn pump_factory(per_pair: u64, payload: usize, lane_on: bool) -> impl FnMut(ProcessId) -> Pump {
+    move |p| Pump {
+        me: p,
+        per_pair,
+        payload_len: payload,
+        lane_on,
+        next_seq: vec![0; N],
+        acked: 0,
+    }
+}
+
+/// Runs one pump to completion (every process got all its data acked) and
+/// returns the elapsed wall-clock time.
+fn run_once(arch: Arch, per_pair: u64, payload: usize, lane_on: bool) -> Duration {
+    let timeout = Duration::from_secs(120);
+    match arch {
+        Arch::Event => {
+            let mut cluster = TcpCluster::start(N, pump_factory(per_pair, payload, lane_on));
+            let start = Instant::now();
+            for p in 0..N {
+                cluster.send_command(ProcessId::new(p as u16), ());
+            }
+            let outs = cluster.wait_for_outputs(N, timeout);
+            let elapsed = start.elapsed();
+            assert_eq!(outs.len(), N, "pump did not drain: event arch, {payload} B");
+            cluster.shutdown();
+            elapsed
+        }
+        Arch::Threaded => {
+            let mut cluster =
+                ThreadedTcpCluster::start(N, pump_factory(per_pair, payload, lane_on));
+            let start = Instant::now();
+            for p in 0..N {
+                cluster.send_command(ProcessId::new(p as u16), ());
+            }
+            let outs = cluster.wait_for_outputs(N, timeout);
+            let elapsed = start.elapsed();
+            assert_eq!(outs.len(), N, "pump did not drain: threaded arch, {payload} B");
+            cluster.shutdown();
+            elapsed
+        }
+    }
+}
+
+/// Best-of-`repeats` measurement of one grid point (max throughput over
+/// the repeats — scheduling noise only ever slows a run down).
+fn measure(
+    arch: Arch,
+    payload: usize,
+    lane_on: bool,
+    per_pair: u64,
+    repeats: usize,
+) -> LoopbackPoint {
+    let total = per_pair * (N as u64) * (N as u64 - 1);
+    let mut best = f64::MIN;
+    for _ in 0..repeats {
+        let elapsed = run_once(arch, per_pair, payload, lane_on).as_secs_f64();
+        best = best.max(total as f64 / elapsed);
+    }
+    LoopbackPoint {
+        arch,
+        payload,
+        lane_on,
+        frames_per_sec: best,
+        bytes_per_sec: best * data_frame_wire_bytes(payload) as f64,
+    }
+}
+
+fn lane_label(lane_on: bool) -> &'static str {
+    if lane_on { "lane_on" } else { "lane_off" }
+}
+
+fn write_json(path: &Path, points: &[LoopbackPoint], speedups: &[(bool, f64)]) {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"loopback_cluster\",");
+    let _ = writeln!(out, "  \"n\": {N},");
+    let _ = writeln!(out, "  \"window\": {WINDOW},");
+    let _ = writeln!(out, "  \"transport\": \"loopback-tcp\",");
+    let _ = writeln!(out, "  \"points\": [");
+    // Absolute rows: machine-dependent, so no "delivered_per_sec" —
+    // the bench_trend parser skips rows without that field.
+    for p in points {
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}_{}\", \"payload_bytes\": {}, \
+             \"frames_per_sec\": {:.0}, \"bytes_per_sec\": {:.0}}},",
+            p.arch.label(),
+            lane_label(p.lane_on),
+            p.payload,
+            p.frames_per_sec,
+            p.bytes_per_sec,
+        );
+    }
+    // Gated rows: the hardware-independent 64 B speedup ratio, × 1000,
+    // capped at RATIO_CAP (see module docs for how the cap pins the trend
+    // floor to exactly 2.0×).
+    for (i, (lane_on, ratio)) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"speedup_{}\", \"window\": {WINDOW}, \"batch\": 1, \
+             \"offered_per_sec\": 0.0, \"delivered_per_sec\": {:.0}, \"saturated\": false}}{comma}",
+            lane_label(*lane_on),
+            ratio.min(RATIO_CAP) * 1000.0,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    fs::create_dir_all(path.parent().expect("results dir")).expect("create results dir");
+    fs::write(path, out).expect("write loopback json");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let repeats = if smoke { 5 } else { 6 };
+    let payloads: &[usize] = &[64, 1024, 16 * 1024];
+
+    println!(
+        "loopback_cluster: n={N}, window={WINDOW}/link, all-to-all data/ack pump over \
+         loop-back TCP"
+    );
+    println!(
+        "{:>9} {:>9} {:>9} | {:>12} {:>12}",
+        "arch", "payload", "lane", "frames/s", "MiB/s"
+    );
+    let mut points = Vec::new();
+    for &payload in payloads {
+        // Frames per link; scaled so every point moves a comparable byte
+        // volume: wakeup-dominated 64 B points need many frames for a
+        // stable rate, 16 KiB points are bandwidth-bound much sooner.
+        let per_pair: u64 = match (smoke, payload) {
+            (true, 64) => 2_000,
+            (true, 1024) => 800,
+            (true, _) => 100,
+            (false, 64) => 5_000,
+            (false, 1024) => 2_000,
+            (false, _) => 250,
+        };
+        for lane_on in [true, false] {
+            for arch in [Arch::Event, Arch::Threaded] {
+                let p = measure(arch, payload, lane_on, per_pair, repeats);
+                println!(
+                    "{:>9} {:>9} {:>9} | {:>12.0} {:>12.1}",
+                    p.arch.label(),
+                    p.payload,
+                    lane_label(p.lane_on),
+                    p.frames_per_sec,
+                    p.bytes_per_sec / (1024.0 * 1024.0),
+                );
+                points.push(p);
+            }
+        }
+    }
+
+    // The headline claim: at 64 B — where per-frame thread wakeups, the
+    // injector hop, and the FrameBuffer copy dominate the threaded
+    // transport — the event loop must be at least 2× faster. The full run
+    // (which produces the committed baseline) enforces the 2× bound
+    // directly; the short smoke grid has wider run-to-run variance, so it
+    // asserts only the trend gate's effective floor (20% under a 2×+
+    // baseline) and leaves regression detection to `bench_trend` against
+    // the committed rows.
+    let rate = |arch: Arch, lane_on: bool| {
+        points
+            .iter()
+            .find(|p| p.arch == arch && p.payload == 64 && p.lane_on == lane_on)
+            .expect("64 B grid point measured")
+            .frames_per_sec
+    };
+    let mut speedups = Vec::new();
+    for lane_on in [true, false] {
+        let ratio = rate(Arch::Event, lane_on) / rate(Arch::Threaded, lane_on);
+        println!("64 B speedup ({}): {ratio:.2}x", lane_label(lane_on));
+        speedups.push((lane_on, ratio));
+        let floor = if smoke { 1.6 } else { 2.0 };
+        assert!(
+            ratio >= floor,
+            "event-driven transport must be >= {floor}x the threaded control at 64 B \
+             ({}): got {ratio:.2}x",
+            lane_label(lane_on),
+        );
+    }
+
+    // `cargo bench` runs this binary with the *package* dir as CWD, so
+    // anchor the workspace-root results dir via the manifest location.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_loopback.json");
+    write_json(Path::new(out), &points, &speedups);
+    println!("wrote results/BENCH_loopback.json");
+}

@@ -12,6 +12,13 @@
 //! rows do, at goodput within a few percent, with the start-up frontier
 //! probe as the only catch-up traffic of the whole run.
 //!
+//! A final row pair prices the fsync policy itself: wall-clock appends/s
+//! of a real `DurableDecidedLog` with `sync_every` off (the default:
+//! page-cache durability) versus `sync_every(8)` (bounded power-loss
+//! window). Those rows are machine-dependent and are therefore emitted
+//! without the trend-gated keys, so `bench_trend` reports but never
+//! gates them.
+//!
 //! Output: a text table on stdout and machine-readable JSON in
 //! `results/BENCH_recovery_sweep.json` (same line-per-point layout as the
 //! other sweeps, so `bench_trend` gates it against the committed baseline).
@@ -21,11 +28,14 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 use iabc_bench::recovery_sweep_spec;
-use iabc_core::{ConsensusFamily, CostModel, RbKind, VariantKind};
+use iabc_core::{
+    ConsensusFamily, CostModel, DecidedEntry, DecidedLog, DurableDecidedLog, RbKind, VariantKind,
+};
 use iabc_sim::NetworkParams;
-use iabc_types::Duration;
+use iabc_types::{AppMessage, Duration, IdSet, MsgId, Payload, ProcessId, Time};
 use iabc_workload::run_variant;
 
 /// The static pipeline the sweep runs (mid-grid, below the B=1 knee).
@@ -69,7 +79,49 @@ fn measure(n: usize, offered: f64, payload: usize, duration: Duration, on: bool)
     }
 }
 
-fn write_json(path: &Path, n: usize, payload: usize, points: &[RecoveryPoint]) {
+/// Wall-clock append throughput of the durable decided log under one
+/// fsync policy — the disk-side price tag of recoverability, measured
+/// directly rather than through the simulated cluster.
+struct DurableRow {
+    /// `"durable_append_sync_off"` or `"durable_append_sync_every_8"`.
+    mode: &'static str,
+    appends: u64,
+    appends_per_sec: f64,
+}
+
+/// Appends real records to a real `DurableDecidedLog` on a temp file,
+/// once with fsync off (the default) and once with `sync_every(8)`, and
+/// reports wall-clock appends/s for each. Entries mirror what a healthy
+/// 64 B-payload run logs: one ordered message per instance.
+fn measure_durable_appends(smoke: bool) -> Vec<DurableRow> {
+    let appends: u64 = if smoke { 2_000 } else { 20_000 };
+    let mut rows = Vec::new();
+    for (mode, every) in [("durable_append_sync_off", 0u64), ("durable_append_sync_every_8", 8)] {
+        let mut path = std::env::temp_dir();
+        path.push(format!("iabc-recovery-sweep-{mode}-{}", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let mut log =
+            DurableDecidedLog::<IdSet>::open(&path).expect("open durable log").sync_every(every);
+        let t0 = Instant::now();
+        for k in 1..=appends {
+            let id = MsgId::new(ProcessId::new(0), k);
+            let entry = DecidedEntry {
+                k,
+                value: IdSet::from_ids([id]),
+                payloads: vec![AppMessage::new(id, Payload::zeroed(64), Time::ZERO)],
+            };
+            assert!(log.append(entry), "contiguous appends must be accepted");
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(log.io_error().is_none(), "durable appends must not error ({mode})");
+        drop(log);
+        let _ = fs::remove_file(&path);
+        rows.push(DurableRow { mode, appends, appends_per_sec: appends as f64 / elapsed });
+    }
+    rows
+}
+
+fn write_json(path: &Path, n: usize, payload: usize, points: &[RecoveryPoint], durable: &[DurableRow]) {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"recovery_sweep\",");
@@ -79,8 +131,7 @@ fn write_json(path: &Path, n: usize, payload: usize, points: &[RecoveryPoint]) {
     let _ = writeln!(out, "  \"network\": \"setup1\",");
     let _ = writeln!(out, "  \"cost_model\": \"setup1\",");
     let _ = writeln!(out, "  \"points\": [");
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 == points.len() { "" } else { "," };
+    for p in points {
         // `window`/`batch` keep the bench_trend line format; together with
         // `mode` and `offered_per_sec` they key each row uniquely.
         let _ = writeln!(
@@ -88,9 +139,20 @@ fn write_json(path: &Path, n: usize, payload: usize, points: &[RecoveryPoint]) {
             "    {{\"mode\": \"{}\", \"window\": {WINDOW}, \"batch\": {BATCH}, \
              \"offered_per_sec\": {:.1}, \"delivered_per_sec\": {:.1}, \"mean_ms\": {:.3}, \
              \"missing_pairs\": {}, \"saturated\": {}, \"catch_up_requests\": {}, \
-             \"caught_up_entries\": {}, \"min_decided_frontier\": {}}}{comma}",
+             \"caught_up_entries\": {}, \"min_decided_frontier\": {}}},",
             p.mode, p.offered_per_sec, p.delivered_per_sec, p.mean_ms, p.missing_pairs,
             p.saturated, p.catch_up_requests, p.caught_up_entries, p.min_decided_frontier,
+        );
+    }
+    for (i, d) in durable.iter().enumerate() {
+        let comma = if i + 1 == durable.len() { "" } else { "," };
+        // Wall-clock fsync throughput is machine-dependent, so these rows
+        // deliberately omit `delivered_per_sec` (and `window`/`batch`) —
+        // the bench_trend parser skips them instead of gating them.
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"appends\": {}, \"appends_per_sec\": {:.1}}}{comma}",
+            d.mode, d.appends, d.appends_per_sec,
         );
     }
     let _ = writeln!(out, "  ]");
@@ -155,7 +217,22 @@ fn main() {
         );
     }
 
-    write_json(Path::new("results/BENCH_recovery_sweep.json"), n, payload, &points);
+    let durable = measure_durable_appends(smoke);
+    for d in &durable {
+        println!("{:>27}: {:>10.0} appends/s ({} appends)", d.mode, d.appends_per_sec, d.appends);
+    }
+    let off = durable.iter().find(|d| d.mode == "durable_append_sync_off").expect("sync-off row");
+    let on = durable.iter().find(|d| d.mode != "durable_append_sync_off").expect("sync-on row");
+    println!(
+        "sync_every(8) keeps {:.0}% of unsynced append throughput",
+        on.appends_per_sec / off.appends_per_sec.max(1e-9) * 100.0,
+    );
+    assert!(
+        off.appends_per_sec > 0.0 && on.appends_per_sec > 0.0,
+        "durable append rows must measure something",
+    );
+
+    write_json(Path::new("results/BENCH_recovery_sweep.json"), n, payload, &points, &durable);
     println!("wrote results/BENCH_recovery_sweep.json");
 
     for &offered in offered_grid {

@@ -464,15 +464,33 @@ impl CallGraph {
     /// Per-function blocking summary: `Some(reason)` if the function may
     /// block directly or through any callee. Fixpoint over cycles.
     pub fn transitive_blocking(&self) -> Vec<Option<String>> {
+        self.transitive_blocking_where(|_| false)
+    }
+
+    /// [`CallGraph::transitive_blocking`] with an exemption predicate:
+    /// a function for which `exempt` returns true is treated as never
+    /// blocking — its direct blocking operations are ignored and nothing
+    /// propagates out of it. Rule E1 uses this to sanction the poller
+    /// module, whose `read`/`write` shims wrap `O_NONBLOCK` fds.
+    pub fn transitive_blocking_where(
+        &self,
+        exempt: impl Fn(&FnInfo) -> bool,
+    ) -> Vec<Option<String>> {
         let mut blk: Vec<Option<String>> = self
             .fns
             .iter()
-            .map(|f| f.blocking.first().map(|b| format!("{} (line {})", b.op, b.line)))
+            .map(|f| {
+                if exempt(f) {
+                    None
+                } else {
+                    f.blocking.first().map(|b| format!("{} (line {})", b.op, b.line))
+                }
+            })
             .collect();
         loop {
             let mut changed = false;
             for i in 0..self.fns.len() {
-                if blk[i].is_some() {
+                if blk[i].is_some() || exempt(&self.fns[i]) {
                     continue;
                 }
                 let mut found: Option<String> = None;

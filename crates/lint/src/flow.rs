@@ -1,5 +1,5 @@
 //! Workspace-level flow rules: O1 lock-order, B1 hold-while-blocking,
-//! and call-graph-aware P1.
+//! E1 no-blocking-in-the-event-loop, and call-graph-aware P1.
 //!
 //! These rules need to see every file at once — a lock-order inversion is
 //! a property of two functions that may live in different files, and a
@@ -42,6 +42,7 @@ pub fn analyze_files(files: &[(String, String)]) -> Vec<Finding> {
     let mut findings = Vec::new();
     rule_o1(&graph, &mut findings);
     rule_b1(&graph, &mut findings);
+    rule_e1(&graph, &mut findings);
     rule_p1_transitive(&graph, &mut findings);
 
     findings.retain(|f| {
@@ -177,6 +178,73 @@ fn rule_b1(graph: &CallGraph, findings: &mut Vec<Finding>) {
                             f.display_name(),
                             graph.fns[j].display_name(),
                             c.held.join("`, `"),
+                        ),
+                    ));
+                    break; // one finding per call site is enough
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// E1 — blocking operation inside the event-loop module set
+// ---------------------------------------------------------------------
+
+/// Files that make up the event-driven transport's hot loop. One I/O
+/// loop serves every connection of the process, so a single blocking
+/// call here stalls them all — rule E1 flags every function defined in
+/// these files that may block, directly or through a callee.
+pub const EVENT_LOOP_FILES: &[&str] = &["crates/net/src/event_loop.rs"];
+
+/// Files exempt from E1 propagation: the poller and its syscall shims.
+/// The `try_read`/`try_write*` helpers wrap `O_NONBLOCK` fds — their
+/// `read`/`write` calls return `WouldBlock` instead of parking — and
+/// `Poller::wait` is the loop's single sanctioned parking point,
+/// accounted for with a reasoned `lint:allow(E1)` at its call site.
+pub const EVENT_LOOP_SANCTIONED_FILES: &[&str] = &["crates/net/src/poll.rs"];
+
+fn rule_e1(graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let blocking = graph
+        .transitive_blocking_where(|f| EVENT_LOOP_SANCTIONED_FILES.contains(&f.file.as_str()));
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !EVENT_LOOP_FILES.contains(&f.file.as_str()) {
+            continue;
+        }
+        // Direct: a blocking op in the loop's own body, guards or not.
+        for b in &f.blocking {
+            findings.push(Finding::new(
+                "E1",
+                &f.file,
+                b.line,
+                format!(
+                    "`{}` blocks inside the event-loop module (`{}`): one I/O loop serves \
+                     every connection of the process, so a parked loop stalls them all — \
+                     hand the fd to the poller and retry on readiness, or prove the call \
+                     cannot park and annotate `lint:allow(E1): <why>`",
+                    b.op,
+                    f.display_name(),
+                ),
+            ));
+        }
+        // Transitive: calling anything that may block, wherever it lives.
+        for c in &f.calls {
+            for j in graph.resolve_call(c) {
+                if j == i {
+                    continue;
+                }
+                if let Some(reason) = &blocking[j] {
+                    findings.push(Finding::new(
+                        "E1",
+                        &f.file,
+                        c.line,
+                        format!(
+                            "`{}` calls `{}` from the event-loop module, and that callee \
+                             may block ({reason}) — one I/O loop serves every connection \
+                             of the process, so a parked loop stalls them all; make the \
+                             callee nonblocking or move the call off-loop",
+                            f.display_name(),
+                            graph.fns[j].display_name(),
                         ),
                     ));
                     break; // one finding per call site is enough

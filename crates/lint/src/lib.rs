@@ -16,10 +16,11 @@
 //! | `W2` | narrowing or float→int `as`-casts on wire-facing integers in `types`/`net` without a visible bound check |
 //! | `O1` | inconsistent lock acquisition order across the workspace (static deadlock detector) |
 //! | `B1` | blocking I/O / sleeps / cross-object waits while a `.lock()` guard is live |
+//! | `E1` | blocking operations (direct or through the call graph) in the event-driven transport's I/O loop — one loop serves every connection, so a parked loop stalls the whole process |
 //! | `L1` | crate-layering violations in `Cargo.toml` dependencies |
 //! | `A1` | malformed `lint:allow` annotations (reason is mandatory) |
 //!
-//! D1/D2/P1/W1/W2 are token-level per-file rules; O1/B1 and the
+//! D1/D2/P1/W1/W2 are token-level per-file rules; O1/B1/E1 and the
 //! call-graph half of P1 are flow-aware: a lightweight item/block parser
 //! ([`parser`]) recovers function bodies and lock-guard scopes, and a
 //! name-resolved call graph ([`callgraph`]) propagates lock-acquisition
@@ -43,7 +44,7 @@ pub mod parser;
 mod rules;
 
 pub use findings::{assign_ids, baseline_ids, Finding, Report};
-pub use flow::analyze_files;
+pub use flow::{analyze_files, EVENT_LOOP_FILES, EVENT_LOOP_SANCTIONED_FILES};
 pub use layering::{check_crate_deps, package_name, parse_dependencies, Dep, LAYERS};
 pub use lexer::{tokenize, Token, TokenKind};
 pub use rules::{

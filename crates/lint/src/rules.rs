@@ -43,7 +43,7 @@ pub const WIRE_ENUMS: &[&str] =
 pub const WIRE_CRATES: &[&str] = &["types", "net"];
 
 /// All checkable rule names (used to validate `lint:allow` annotations).
-pub const RULES: &[&str] = &["D1", "D2", "P1", "W1", "W2", "O1", "B1", "L1"];
+pub const RULES: &[&str] = &["D1", "D2", "P1", "W1", "W2", "O1", "B1", "E1", "L1"];
 
 /// Lints one Rust source file. `rel_path` must be workspace-relative
 /// (e.g. `crates/net/src/tcp.rs`) — rule scoping is derived from the

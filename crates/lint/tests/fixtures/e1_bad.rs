@@ -1,0 +1,23 @@
+// Fixture: rule E1 must fire — blocking operations inside the event-loop
+// module, both directly (`drain_peer` writes, `idle` sleeps) and through
+// a call into a helper that blocks (`flush_all` → `flush_one`). Analyzed
+// as `crates/net/src/event_loop.rs`.
+use std::io::Write;
+
+pub fn drain_peer(stream: &mut std::net::TcpStream, batch: &[u8]) {
+    stream.write_all(batch).ok();
+}
+
+pub fn idle() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn flush_all(stream: &mut std::net::TcpStream, batches: &[Vec<u8>]) {
+    for b in batches {
+        flush_one(stream, b);
+    }
+}
+
+fn flush_one(stream: &mut std::net::TcpStream, bytes: &[u8]) {
+    stream.write_all(bytes).ok();
+}

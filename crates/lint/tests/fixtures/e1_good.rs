@@ -1,0 +1,36 @@
+// Fixture: rule E1 must stay quiet — the loop never parks. Frames move
+// through nonblocking try-calls, the single sanctioned parking point
+// (the poller wait) carries a reasoned allow, and the shutdown join runs
+// on the caller's thread, not the loop (also allowed). Analyzed as
+// `crates/net/src/event_loop.rs`.
+
+pub struct EventLoop {
+    poller: Poller,
+}
+
+impl EventLoop {
+    pub fn run(&mut self, peers: &mut [Peer]) {
+        loop {
+            // lint:allow(E1): poll(2) with a bounded tick is the loop's one sanctioned parking point
+            self.poller.wait(peers);
+            for p in peers.iter_mut() {
+                if let Some(batch) = p.queue.try_take_batch() {
+                    p.scratch.extend_from_slice(&batch);
+                }
+            }
+        }
+    }
+}
+
+pub struct Handle {
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Handle {
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            // lint:allow(E1): shutdown path on the caller's thread — the loop itself never joins
+            let _ = t.join();
+        }
+    }
+}

@@ -164,6 +164,54 @@ fn b1_good_is_quiet() {
     assert!(f.is_empty(), "{f:?}");
 }
 
+// --- E1: blocking inside the event-loop module --------------------------
+
+#[test]
+fn e1_bad_fires() {
+    let f = flow_findings("crates/net/src/event_loop.rs", include_str!("fixtures/e1_bad.rs"));
+    assert_only_rule(&f, "E1");
+    // Direct write, direct sleep, the call into the blocking helper, and
+    // the helper's own write (it lives in the module set too).
+    assert_eq!(f.len(), 4, "{f:?}");
+}
+
+#[test]
+fn e1_good_is_quiet() {
+    let f = flow_findings("crates/net/src/event_loop.rs", include_str!("fixtures/e1_good.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn e1_out_of_scope_is_quiet() {
+    // The same blocking code outside the event-loop module set is not
+    // E1's business (the threaded control transport blocks by design).
+    let f = flow_findings("crates/net/src/tcp_threaded.rs", include_str!("fixtures/e1_bad.rs"));
+    assert!(f.iter().all(|f| f.rule != "E1"), "{f:?}");
+}
+
+#[test]
+fn e1_sanctions_the_poller_shims() {
+    // A call from the loop into the poller module is exempt even though
+    // the shim contains a `read` call — `O_NONBLOCK` makes it return
+    // `WouldBlock` instead of parking. The identical helper anywhere
+    // else propagates its blocking fact into the loop.
+    let loop_src = "fn service(s: &mut S) { try_read_chunk(s); }\n".to_string();
+    let shim = "pub fn try_read_chunk(s: &mut S) -> usize { s.stream.read(&mut s.buf).unwrap_or(0) }\n";
+    let quiet = analyze_files(&[
+        ("crates/net/src/event_loop.rs".to_string(), loop_src.clone()),
+        ("crates/net/src/poll.rs".to_string(), shim.to_string()),
+    ]);
+    assert!(quiet.iter().all(|f| f.rule != "E1"), "{quiet:?}");
+    let loud = analyze_files(&[
+        ("crates/net/src/event_loop.rs".to_string(), loop_src),
+        ("crates/net/src/io.rs".to_string(), shim.to_string()),
+    ]);
+    assert!(
+        loud.iter().any(|f| f.rule == "E1" && f.file == "crates/net/src/event_loop.rs"),
+        "{loud:?}"
+    );
+}
+
 // --- A1: allow hygiene -------------------------------------------------
 
 #[test]

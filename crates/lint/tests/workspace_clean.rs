@@ -32,7 +32,7 @@ fn workspace_is_lint_clean() {
 fn all_rules_are_enabled() {
     // The clean run above only means something if the full rule set is on.
     // Guard against a rule being dropped from the registry.
-    for rule in ["D1", "D2", "P1", "W1", "W2", "O1", "B1", "L1"] {
+    for rule in ["D1", "D2", "P1", "W1", "W2", "O1", "B1", "E1", "L1"] {
         assert!(
             iabc_lint::RULES.contains(&rule),
             "rule {rule} missing from RULES — workspace_is_lint_clean no longer covers it"

@@ -1,0 +1,109 @@
+//! The node adapter shared by both TCP transports: forwards remote sends
+//! into per-peer outbound queues.
+
+use std::sync::Arc;
+
+use iabc_runtime::Node;
+use iabc_types::{Encode, ProcessId};
+
+use crate::event_loop::Waker;
+use crate::queue::PeerQueue;
+
+/// `outbound[i][j]`: the queue feeding the `i → j` connection's drainer
+/// (`None` on the diagonal).
+pub(crate) type OutboundMesh<M> = Vec<Vec<Option<Arc<PeerQueue<M>>>>>;
+
+/// Adapter node: intercepts `Send` actions for remote peers and enqueues
+/// them for the peer connection's drainer; self-sends and everything else
+/// pass through. With a [`Waker`] attached (the event-driven transport),
+/// one wake per action batch tells the I/O loop the queues changed; the
+/// threaded transport passes `None` (its flushers park on the queue
+/// condvar instead).
+pub(crate) struct MsgOverTcp<N: Node> {
+    pub(crate) node: N,
+    pub(crate) me: ProcessId,
+    pub(crate) writers: Vec<Option<Arc<PeerQueue<N::Msg>>>>,
+    pub(crate) waker: Option<Arc<Waker>>,
+}
+
+impl<N: Node> std::fmt::Debug for MsgOverTcp<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsgOverTcp").field("me", &self.me).finish()
+    }
+}
+
+impl<N> Node for MsgOverTcp<N>
+where
+    N: Node,
+    N::Msg: Encode,
+{
+    type Msg = N::Msg;
+    type Command = N::Command;
+    type Output = N::Output;
+
+    fn on_start(&mut self, ctx: &mut iabc_runtime::Context<Self::Msg, Self::Output>) {
+        self.node.on_start(ctx);
+        self.redirect(ctx);
+    }
+
+    fn on_command(&mut self, cmd: Self::Command, ctx: &mut iabc_runtime::Context<Self::Msg, Self::Output>) {
+        self.node.on_command(cmd, ctx);
+        self.redirect(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut iabc_runtime::Context<Self::Msg, Self::Output>,
+    ) {
+        self.node.on_message(from, msg, ctx);
+        self.redirect(ctx);
+    }
+
+    fn on_timer(&mut self, timer: iabc_runtime::TimerId, ctx: &mut iabc_runtime::Context<Self::Msg, Self::Output>) {
+        self.node.on_timer(timer, ctx);
+        self.redirect(ctx);
+    }
+}
+
+impl<N> MsgOverTcp<N>
+where
+    N: Node,
+    N::Msg: Encode,
+{
+    /// Rewrites remote sends into outbound-queue pushes, keeping
+    /// everything else; wakes the I/O loop once per action batch if any
+    /// push landed.
+    fn redirect(&mut self, ctx: &mut iabc_runtime::Context<N::Msg, N::Output>) {
+        use iabc_runtime::Action;
+        let actions = ctx.take_actions();
+        let mut pushed = false;
+        for action in actions {
+            match action {
+                Action::Send { to, msg } if to != self.me => {
+                    if let Some(queue) = &self.writers[to.as_usize()] {
+                        // A dead peer's queue is closed: drops silently.
+                        queue.enqueue(msg);
+                        pushed = true;
+                    }
+                }
+                other => {
+                    // Self-sends, timers, work, outputs: hand back to the
+                    // channel machinery.
+                    match other {
+                        Action::Send { to, msg } => ctx.send(to, msg),
+                        Action::SetTimer { delay, timer } => ctx.set_timer(delay, timer),
+                        Action::Work { duration } => ctx.work(duration),
+                        Action::Output(o) => ctx.output(o),
+                    }
+                }
+            }
+        }
+        if pushed {
+            if let Some(waker) = &self.waker {
+                waker.wake();
+            }
+        }
+    }
+}

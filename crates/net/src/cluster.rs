@@ -138,6 +138,32 @@ where
         out
     }
 
+    /// Collects outputs until `count` have arrived or `timeout` elapses —
+    /// the latency-friendly alternative to [`ThreadCluster::run_for`] when
+    /// the caller knows how many outputs to expect (benches, tests): it
+    /// returns the moment the last expected output lands instead of
+    /// sleeping out a fixed window.
+    pub fn wait_for_outputs(
+        &mut self,
+        count: usize,
+        timeout: std::time::Duration,
+    ) -> Vec<NetOutput<N::Output>> {
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.outputs.recv_timeout(deadline - now) {
+                Ok(rec) => out.push(rec),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
     /// Stops all node threads and waits for them.
     pub fn shutdown(mut self) {
         for tx in &self.inputs {

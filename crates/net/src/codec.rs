@@ -2,7 +2,9 @@
 
 use std::io::{self, Read, Write};
 
-use iabc_types::{Decode, Encode};
+use iabc_types::{Decode, Encode, ProcessId};
+
+use crate::pool::{BufferPool, PooledBuf};
 
 /// Maximum accepted frame size (16 MiB) — guards against corrupt length
 /// prefixes taking the process down.
@@ -143,6 +145,172 @@ impl FrameBuffer {
                     self.buf.drain(..self.start);
                     self.start = 0;
                 }
+                Ok(Some(value))
+            }
+            Err(e) => Err(self.poison(&e.to_string())),
+        }
+    }
+}
+
+/// `(sender, message)` as one frame: the transport frame format is
+/// `[u16 sender id][message]` inside the usual length prefix.
+pub struct Tagged<'a, M> {
+    /// The sending process.
+    pub from: ProcessId,
+    /// The message body.
+    pub msg: &'a M,
+}
+
+impl<M: Encode> iabc_types::WireSize for Tagged<'_, M> {
+    fn wire_size(&self) -> usize {
+        2 + self.msg.wire_size()
+    }
+}
+
+impl<M: Encode> Encode for Tagged<'_, M> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.from.encode(buf);
+        self.msg.encode(buf);
+    }
+}
+
+/// Owned decode-side counterpart of [`Tagged`].
+pub struct TaggedOwned<M> {
+    /// The sending process.
+    pub from: ProcessId,
+    /// The message body.
+    pub msg: M,
+}
+
+impl<M: Decode + iabc_types::WireSize> iabc_types::WireSize for TaggedOwned<M> {
+    fn wire_size(&self) -> usize {
+        2 + self.msg.wire_size()
+    }
+}
+
+impl<M: Decode + iabc_types::WireSize> Decode for TaggedOwned<M> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, iabc_types::CodecError> {
+        Ok(TaggedOwned { from: ProcessId::decode(buf)?, msg: M::decode(buf)? })
+    }
+}
+
+/// The receive half of the zero-copy path: a pooled buffer that sockets
+/// read **directly into** ([`RecvBuffer::spare`] / [`RecvBuffer::commit`])
+/// and that yields frames decoded **in place**
+/// ([`iabc_types::Decode::decode_in_place`]) from the very bytes the
+/// kernel wrote.
+///
+/// Compare [`FrameBuffer`], the owned-decode path: there the reader copies
+/// every chunk from its stack buffer into the frame buffer before
+/// decoding. `RecvBuffer` eliminates that re-assembly copy — payload bytes
+/// are copied exactly once, slice → payload store, and nothing else on the
+/// receive path copies at all.
+///
+/// Same framing contract as [`FrameBuffer`]: `[u32 LE length][body]`,
+/// frames over [`MAX_FRAME`] rejected, and decode errors are **sticky** —
+/// a stream that lost framing can never resynchronize, so after the first
+/// error every call fails fast and the caller must drop the connection.
+#[derive(Debug)]
+pub struct RecvBuffer {
+    /// The pooled arena. `buf.len()` is the arena size; `start..filled`
+    /// holds undecoded wire bytes and `filled..` is writable spare.
+    buf: PooledBuf,
+    start: usize,
+    filled: usize,
+    poisoned: bool,
+}
+
+/// Default read-chunk size: how much spare [`RecvBuffer::spare`]
+/// guarantees by default (matches the old reader-thread chunk).
+pub const RECV_CHUNK: usize = 16 * 1024;
+
+impl RecvBuffer {
+    /// A receive buffer backed by `pool` (the arena returns to the pool
+    /// when the `RecvBuffer` drops).
+    pub fn new(pool: &BufferPool) -> RecvBuffer {
+        RecvBuffer { buf: pool.get(), start: 0, filled: 0, poisoned: false }
+    }
+
+    /// Makes at least `min` bytes of spare room and returns the writable
+    /// tail for the socket to read into; follow with
+    /// [`RecvBuffer::commit`]. Compacts the consumed prefix (cursor
+    /// memmove) before growing the arena, so steady-state traffic settles
+    /// into a fixed-size buffer.
+    pub fn spare(&mut self, min: usize) -> &mut [u8] {
+        let min = min.max(1);
+        if self.start == self.filled {
+            // Fully drained: reset the cursors for free.
+            self.start = 0;
+            self.filled = 0;
+        }
+        if self.buf.len() - self.filled < min && self.start > 0 {
+            self.buf.copy_within(self.start..self.filled, 0);
+            self.filled -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() - self.filled < min {
+            let target = (self.filled + min).next_power_of_two().max(RECV_CHUNK);
+            self.buf.resize(target, 0);
+        }
+        &mut self.buf[self.filled..]
+    }
+
+    /// Records that the socket wrote `n` bytes into the slice returned by
+    /// the last [`RecvBuffer::spare`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the spare room (a transport bug, not remote
+    /// input: `n` comes from `read(2)` on a slice of exactly that length).
+    pub fn commit(&mut self, n: usize) {
+        assert!(n <= self.buf.len() - self.filled, "commit past the spare region");
+        self.filled += n;
+    }
+
+    /// Whether a previous decode error poisoned this buffer.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame (0 after
+    /// poisoning — the buffer is discarded). For metrics and tests.
+    pub fn pending_bytes(&self) -> usize {
+        self.filled - self.start
+    }
+
+    fn poison(&mut self, reason: &str) -> io::Error {
+        self.poisoned = true;
+        self.buf.clear();
+        self.start = 0;
+        self.filled = 0;
+        io::Error::new(io::ErrorKind::InvalidData, reason.to_string())
+    }
+
+    /// Extracts the next complete frame, decoding it in place from the
+    /// pooled arena (no intermediate copy).
+    ///
+    /// # Errors
+    ///
+    /// Fails on oversized or malformed frames, and on every call after the
+    /// first failure (the buffer is poisoned — close the connection).
+    pub fn next_frame<T: Decode>(&mut self) -> io::Result<Option<T>> {
+        if self.poisoned {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "recv buffer poisoned"));
+        }
+        let pending = &self.buf[self.start..self.filled];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(self.poison("frame too large"));
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        match T::decode_in_place(&pending[4..4 + len]) {
+            Ok(value) => {
+                self.start += 4 + len;
                 Ok(Some(value))
             }
             Err(e) => Err(self.poison(&e.to_string())),
@@ -387,5 +555,103 @@ mod tests {
             assert!(fb.next_frame::<u64>().is_err());
             assert!(fb.is_poisoned());
         }
+    }
+
+    /// Simulates a socket read: copy `bytes` into the spare region the way
+    /// `read(2)` would, then commit.
+    fn recv(rb: &mut RecvBuffer, bytes: &[u8]) {
+        let spare = rb.spare(bytes.len());
+        spare[..bytes.len()].copy_from_slice(bytes);
+        rb.commit(bytes.len());
+    }
+
+    #[test]
+    fn recv_buffer_decodes_frames_split_across_reads() {
+        let pool = BufferPool::new();
+        let mut rb = RecvBuffer::new(&pool);
+        let mut wire = Vec::new();
+        write_frame(&42u64, &mut wire).unwrap();
+        write_frame(&7u64, &mut wire).unwrap();
+        recv(&mut rb, &wire[..3]);
+        assert_eq!(rb.next_frame::<u64>().unwrap(), None);
+        recv(&mut rb, &wire[3..13]);
+        assert_eq!(rb.next_frame::<u64>().unwrap(), Some(42));
+        assert_eq!(rb.next_frame::<u64>().unwrap(), None);
+        recv(&mut rb, &wire[13..]);
+        assert_eq!(rb.next_frame::<u64>().unwrap(), Some(7));
+        assert_eq!(rb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn recv_buffer_poisons_sticky_like_frame_buffer() {
+        let pool = BufferPool::new();
+        let mut rb = RecvBuffer::new(&pool);
+        recv(&mut rb, &2u32.to_le_bytes());
+        recv(&mut rb, &[0xAB, 0xCD]);
+        assert!(rb.next_frame::<u64>().is_err(), "malformed body must fail");
+        assert!(rb.is_poisoned());
+        assert_eq!(rb.pending_bytes(), 0);
+        let mut wire = Vec::new();
+        write_frame(&9u64, &mut wire).unwrap();
+        recv(&mut rb, &wire);
+        assert!(rb.next_frame::<u64>().is_err(), "poisoned buffer must fail fast");
+        // Oversize length prefixes poison before any body bytes arrive.
+        let mut rb = RecvBuffer::new(&pool);
+        recv(&mut rb, &(u32::MAX).to_le_bytes());
+        assert!(rb.next_frame::<u64>().is_err());
+        assert!(rb.is_poisoned());
+    }
+
+    #[test]
+    fn recv_buffer_compacts_without_corrupting_a_partial_tail() {
+        // Drive the cursor far past the arena start, leave a split frame
+        // pending, and verify the compaction memmove preserved it.
+        let pool = BufferPool::new();
+        let mut rb = RecvBuffer::new(&pool);
+        let mut expected = Vec::new();
+        for i in 0..800u64 {
+            let mut wire = Vec::new();
+            write_frame(&i, &mut wire).unwrap();
+            recv(&mut rb, &wire);
+            expected.push(i);
+        }
+        let mut tail = Vec::new();
+        write_frame(&0xDEAD_BEEFu64, &mut tail).unwrap();
+        recv(&mut rb, &tail[..6]);
+        let mut got = Vec::new();
+        while let Some(v) = rb.next_frame::<u64>().unwrap() {
+            got.push(v);
+        }
+        assert_eq!(got, expected, "compaction corrupted decoded frames");
+        assert_eq!(rb.pending_bytes(), 6, "partial tail must survive");
+        // Force a compaction+growth cycle by demanding a big spare region.
+        let spare = rb.spare(64 * 1024);
+        assert!(spare.len() >= 64 * 1024);
+        recv(&mut rb, &tail[6..]);
+        assert_eq!(rb.next_frame::<u64>().unwrap(), Some(0xDEAD_BEEF));
+        assert_eq!(rb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn recv_buffer_arena_returns_to_the_pool() {
+        let pool = BufferPool::new();
+        let rb = RecvBuffer::new(&pool);
+        assert_eq!(pool.stats().in_use, 1);
+        drop(rb);
+        let s = pool.stats();
+        assert_eq!(s.in_use, 0);
+        assert_eq!(s.free, 1);
+    }
+
+    #[test]
+    fn tagged_roundtrip_carries_the_sender() {
+        let mut wire = Vec::new();
+        write_frame(&Tagged { from: ProcessId::new(3), msg: &0xFACEu32 }, &mut wire).unwrap();
+        let pool = BufferPool::new();
+        let mut rb = RecvBuffer::new(&pool);
+        recv(&mut rb, &wire);
+        let t = rb.next_frame::<TaggedOwned<u32>>().unwrap().expect("complete frame");
+        assert_eq!(t.from, ProcessId::new(3));
+        assert_eq!(t.msg, 0xFACE);
     }
 }

@@ -5,20 +5,33 @@
 //!
 //! * [`ThreadCluster`] — one OS thread per process, crossbeam channels as
 //!   links, wall-clock timers. In-process, zero configuration.
-//! * [`TcpCluster`] — one OS thread per process, length-prefixed frames
-//!   over loop-back TCP sockets, wall-clock timers. Exercises the real
+//! * [`TcpCluster`] — length-prefixed frames over loop-back TCP sockets,
+//!   all I/O driven by **one event-loop thread per process** ([`poll`]
+//!   readiness, pooled buffers, decode-in-place). Exercises the real
 //!   codec path end to end.
+//! * [`ThreadedTcpCluster`] — the prior thread-per-connection transport
+//!   (`2·(n−1)` blocking I/O threads per process), kept as the control
+//!   arm of the `loopback_cluster` bench.
 //!
-//! Both drive any [`Node`](iabc_runtime::Node) implementation — the very same
-//! [`AbcastNode`](iabc_core::AbcastNode) state machines the simulator runs.
-//! `Action::Work` is ignored (real CPUs charge themselves).
+//! All three drive any [`Node`](iabc_runtime::Node) implementation — the very
+//! same [`AbcastNode`](iabc_core::AbcastNode) state machines the simulator
+//! runs. `Action::Work` is ignored (real CPUs charge themselves).
 
 pub mod cluster;
 pub mod codec;
+pub mod poll;
+pub mod pool;
 pub mod tcp;
+pub mod tcp_threaded;
+
+pub(crate) mod adapter;
+pub(crate) mod event_loop;
+pub(crate) mod queue;
 
 pub use cluster::ThreadCluster;
+pub use pool::{BufferPool, PoolStats};
 pub use tcp::TcpCluster;
+pub use tcp_threaded::ThreadedTcpCluster;
 
 use iabc_types::{ProcessId, Time};
 

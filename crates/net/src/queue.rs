@@ -1,0 +1,275 @@
+//! The two-lane bounded outbound queue of one peer connection.
+//!
+//! Shared by both TCP transports: the event-driven [`crate::tcp`] loop
+//! drains it nonblockingly ([`PeerQueue::try_take_batch`]), the
+//! thread-per-connection control [`crate::tcp_threaded`] parks a flusher
+//! thread on it ([`PeerQueue::next_batch`]). Pushes are cheap (append
+//! under a mutex) but **bounded**: past the capacity the pusher blocks
+//! until the drainer catches up — the transport's backpressure, reaching
+//! the node thread exactly as the old one-write-per-frame path did via a
+//! full TCP buffer. Draining always takes *everything* pending in one
+//! batch, ordering lane first.
+//!
+//! # Lock discipline
+//!
+//! Each queue owns exactly one `Mutex` (its lane state) plus the two
+//! condvars that pair with it; no code path ever holds two queue locks at
+//! once (queues belong to distinct connections and never reference each
+//! other), so there is no acquisition order to get wrong. The rule that
+//! *does* carry weight: **no socket I/O while a queue guard is live.**
+//! Drainers take the lock only to swap the batch out, drop the guard, and
+//! encode/write from buffers they own. Condvar waits release the lock for
+//! the duration of the wait and are the one sanctioned way to block with a
+//! guard in scope — and they exist only on the *threaded* paths (`push`,
+//! `next_batch`); the event loop's `try_take_batch` never waits, which
+//! lint rule `E1` checks mechanically.
+//!
+//! Lock poisoning is recovered, not propagated: the queue state (two
+//! deques and a flag) is valid after any partial mutation, and a panic in
+//! one node thread must not cascade into the I/O threads of every peer
+//! sharing the mesh.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use iabc_types::{TrafficClass, WireSize};
+
+/// Maximum frames a [`PeerQueue`] holds across both lanes before `push`
+/// blocks the sending node thread. The old one-write-per-frame path got
+/// backpressure for free (the node thread blocked once the peer's TCP
+/// receive buffer filled); the queue must re-establish it, or a slow peer
+/// turns into unbounded sender-side memory growth under exactly the
+/// payload-flood workloads this repo benches.
+pub(crate) const MAX_OUTBOUND_FRAMES: usize = 16 * 1024;
+
+/// The two-lane outbound queue of one peer connection (see module docs).
+pub(crate) struct PeerQueue<M> {
+    state: Mutex<PeerQueueState<M>>,
+    /// Signalled when work arrives or the queue closes (threaded flushers
+    /// wait here; the event loop uses its wake channel instead).
+    ready: Condvar,
+    /// Signalled when a drain frees space or the queue closes (pushers
+    /// blocked on a full queue wait here).
+    space: Condvar,
+    capacity: usize,
+}
+
+struct PeerQueueState<M> {
+    ordering: VecDeque<M>,
+    bulk: VecDeque<M>,
+    /// Set on shutdown or on a dead peer: pushes are dropped (a crashed
+    /// process loses messages — the quasi-reliable channel model).
+    closed: bool,
+}
+
+impl<M> PeerQueueState<M> {
+    fn len(&self) -> usize {
+        self.ordering.len() + self.bulk.len()
+    }
+}
+
+/// What [`PeerQueue::try_take_batch`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchStatus {
+    /// Frames were appended to the caller's batch.
+    Took,
+    /// Nothing pending right now; the queue is still open.
+    Empty,
+    /// The queue is closed and fully drained — no more batches ever.
+    Closed,
+}
+
+impl<M: WireSize> PeerQueue<M> {
+    pub(crate) fn new() -> Self {
+        PeerQueue::with_capacity(MAX_OUTBOUND_FRAMES)
+    }
+
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        PeerQueue {
+            state: Mutex::new(PeerQueueState {
+                ordering: VecDeque::new(),
+                bulk: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues one message into its class lane, blocking while the queue
+    /// is at capacity (backpressure from a slow peer reaches the node
+    /// thread, as the old blocking write did). Dropped if closed.
+    pub(crate) fn enqueue(&self, msg: M) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !s.closed && s.len() >= self.capacity {
+            s = self.space.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.closed {
+            return;
+        }
+        match msg.traffic_class() {
+            TrafficClass::Ordering => s.ordering.push_back(msg),
+            TrafficClass::Bulk => s.bulk.push_back(msg),
+        }
+        drop(s);
+        self.ready.notify_one();
+    }
+
+    /// Marks the queue closed and wakes everyone (drainers and any pushers
+    /// blocked on a full queue).
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Blocks until messages are pending (or the queue closed empty), then
+    /// takes the whole backlog: every ordering frame first, then every
+    /// bulk frame. Returns `None` when closed and fully drained.
+    ///
+    /// Threaded-transport only — the event loop must use the nonblocking
+    /// [`PeerQueue::try_take_batch`].
+    pub(crate) fn next_batch(&self) -> Option<Vec<M>> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !s.ordering.is_empty() || !s.bulk.is_empty() {
+                let mut batch: Vec<M> = Vec::with_capacity(s.len());
+                batch.extend(s.ordering.drain(..));
+                batch.extend(s.bulk.drain(..));
+                drop(s);
+                self.space.notify_all();
+                return Some(batch);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Nonblocking drain for the event loop: appends the whole backlog to
+    /// `into` — every ordering frame first, then every bulk frame — and
+    /// returns immediately. Never waits; `into`'s allocation is the
+    /// caller's to reuse across batches.
+    pub(crate) fn try_take_batch(&self, into: &mut Vec<M>) -> BatchStatus {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.ordering.is_empty() && s.bulk.is_empty() {
+            return if s.closed { BatchStatus::Closed } else { BatchStatus::Empty };
+        }
+        into.reserve(s.len());
+        into.extend(s.ordering.drain(..));
+        into.extend(s.bulk.drain(..));
+        drop(s);
+        self.space.notify_all();
+        BatchStatus::Took
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use iabc_types::{CodecError, Decode, Encode};
+
+    /// A classed test frame: odd values are ordering, even values bulk.
+    #[derive(Clone, Debug, PartialEq)]
+    pub(crate) struct Classed(pub u32);
+    impl WireSize for Classed {
+        fn wire_size(&self) -> usize {
+            4
+        }
+        fn traffic_class(&self) -> TrafficClass {
+            if self.0 % 2 == 1 { TrafficClass::Ordering } else { TrafficClass::Bulk }
+        }
+    }
+    impl Encode for Classed {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.0.encode(buf);
+        }
+    }
+    impl Decode for Classed {
+        fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+            Ok(Classed(u32::decode(buf)?))
+        }
+    }
+
+    #[test]
+    fn queue_drains_ordering_ahead_of_bulk() {
+        let q: PeerQueue<Classed> = PeerQueue::new();
+        for v in [2, 4, 1, 6, 3] {
+            q.enqueue(Classed(v));
+        }
+        let batch = q.next_batch().expect("queue not closed");
+        let vals: Vec<u32> = batch.iter().map(|c| c.0).collect();
+        // Ordering lane first (FIFO within the lane), then bulk FIFO.
+        assert_eq!(vals, vec![1, 3, 2, 4, 6]);
+        // Queue now empty: close makes next_batch return None.
+        q.close();
+        assert!(q.next_batch().is_none());
+        // Pushes after close are dropped (crashed-peer semantics).
+        q.enqueue(Classed(9));
+        assert!(q.next_batch().is_none());
+    }
+
+    #[test]
+    fn try_take_batch_never_blocks_and_mirrors_the_lane_order() {
+        let q: PeerQueue<Classed> = PeerQueue::new();
+        let mut batch = Vec::new();
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Empty);
+        for v in [2, 4, 1, 6, 3] {
+            q.enqueue(Classed(v));
+        }
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Took);
+        assert_eq!(batch.iter().map(|c| c.0).collect::<Vec<_>>(), vec![1, 3, 2, 4, 6]);
+        batch.clear();
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Empty);
+        q.close();
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Closed);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn closed_queue_with_backlog_still_hands_the_backlog_out() {
+        // close() drops *future* pushes; frames already accepted are the
+        // drainer's to flush (shutdown drains the backlog best-effort).
+        let q: PeerQueue<Classed> = PeerQueue::new();
+        q.enqueue(Classed(1));
+        q.close();
+        let mut batch = Vec::new();
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Took);
+        assert_eq!(batch.len(), 1);
+        batch.clear();
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Closed);
+    }
+
+    #[test]
+    fn full_queue_blocks_the_pusher_until_a_drain_frees_space() {
+        let q: Arc<PeerQueue<Classed>> = Arc::new(PeerQueue::with_capacity(4));
+        for v in 0..4 {
+            q.enqueue(Classed(v));
+        }
+        // The fifth push must block (backpressure), not grow the queue.
+        let pq = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || pq.enqueue(Classed(99)));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!pusher.is_finished(), "push past capacity must block");
+        // Draining frees space and unblocks it — via the nonblocking
+        // event-loop drain this time.
+        let mut batch = Vec::new();
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Took);
+        assert_eq!(batch.len(), 4);
+        pusher.join().unwrap();
+        let batch = q.next_batch().expect("open queue");
+        assert_eq!(batch.iter().map(|c| c.0).collect::<Vec<_>>(), vec![99]);
+        // close() releases blocked pushers too (message dropped).
+        for v in 0..4 {
+            q.enqueue(Classed(v));
+        }
+        let pq = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || pq.enqueue(Classed(100)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        pusher.join().unwrap();
+    }
+}

@@ -1,366 +1,74 @@
-//! TCP cluster: nodes connected by loop-back TCP sockets.
+//! TCP cluster: nodes connected by loop-back TCP sockets, all I/O driven
+//! by one event loop per process.
 //!
 //! Every node runs the same loop as the thread cluster, but links are real
 //! sockets and messages travel through the wire codec — the closest
-//! in-process analogue of the paper's cluster deployment. Reader threads
-//! decode frames and forward them into the node's input channel.
+//! in-process analogue of the paper's cluster deployment.
 //!
-//! # The outbound path: queues + a coalescing flusher
+//! # The I/O architecture: one nonblocking loop per process
 //!
-//! A node thread never writes to a socket. Each peer connection has an
-//! outbound [`PeerQueue`] with one lane per [`TrafficClass`]; `Send`
-//! actions enqueue the message and a dedicated flusher thread drains the
-//! queue — **ordering frames ahead of bulk** — encodes the whole batch
-//! into one reused scratch buffer ([`write_frame_into`]) and pushes it
-//! with a single `write_all`. Under load this coalesces many frames per
-//! syscall and keeps consensus traffic from queueing behind payload
-//! floods inside the transport, mirroring the simulator's priority lane.
+//! A node thread never touches a socket. Each process owns a single
+//! [`crate::event_loop`] thread that drives all of its `2·(n−1)` streams
+//! through a `poll(2)`-based readiness loop ([`crate::poll`]):
+//!
+//! * **Outbound**: `Send` actions enqueue into the peer's two-lane
+//!   [`crate::queue::PeerQueue`] and wake the loop (one coalesced wake per
+//!   action batch). The loop drains each queue — ordering frames ahead of
+//!   bulk — encodes the batch into pooled scratch and pushes it with a
+//!   single vectored write; partial writes park the remainder and re-arm
+//!   writability. Under load this coalesces many frames per syscall and
+//!   keeps consensus traffic from queueing behind payload floods inside
+//!   the transport, mirroring the simulator's priority lane.
+//! * **Inbound**: sockets read straight into pooled receive buffers and
+//!   frames decode **in place** from those bytes
+//!   ([`iabc_types::Decode::decode_in_place`]), going to the node's input
+//!   channel with no re-assembly copy and no relay thread.
+//!
+//! The previous architecture — a blocking reader thread per connection
+//! plus a flusher thread per peer, `2·(n−1)` I/O threads per process —
+//! survives as [`crate::tcp_threaded::ThreadedTcpCluster`], the
+//! measured control for the `loopback_cluster` bench.
 //!
 //! # Lock discipline
 //!
-//! Each [`PeerQueue`] owns exactly one `Mutex` (its lane state) plus the
-//! condvar that pairs with it; no code path in this module ever holds two
-//! queue locks at once (queues belong to distinct connections and never
-//! reference each other), so there is no acquisition order to get wrong.
-//! The rule that *does* carry weight: **no socket I/O while a queue guard
-//! is live.** The flusher takes the lock only to swap the batch out
-//! (`next_batch`), drops the guard, and then encodes and `write_all`s from
-//! thread-local buffers — a stalled peer therefore blocks only its own
-//! flusher thread, never a node thread trying to `push`. Condvar waits
-//! release the queue lock for the duration of the wait and are the one
-//! sanctioned way to block with a guard in scope. `iabc-lint` enforces
-//! this mechanically (rules `O1` and `B1`).
+//! All transport locking lives in [`crate::queue`] (one mutex per peer
+//! queue, no I/O under a guard — see its module docs) and
+//! [`crate::pool`]. The event loop itself never blocks: lint rule `E1`
+//! mechanically enforces that its module set reaches the kernel only
+//! through the sanctioned nonblocking shims in [`crate::poll`].
 
-use std::collections::VecDeque;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Sender};
 use iabc_runtime::Node;
-use iabc_types::{Decode, Encode, ProcessId, TrafficClass, WireSize};
+use iabc_types::{Decode, Encode, ProcessId};
 
+use crate::adapter::{MsgOverTcp, OutboundMesh};
 use crate::cluster::ThreadCluster;
-use crate::codec::{write_frame_into, FrameBuffer};
+use crate::event_loop::{self, EventLoopHandle, Waker};
+use crate::poll::wake_channel;
+use crate::queue::PeerQueue;
+
+/// Per-process outbound connections: the connected stream to each peer
+/// plus the queue that feeds it, handed to that process's event loop.
+type WriterConns<M> = Vec<Vec<(TcpStream, Arc<PeerQueue<M>>)>>;
 use crate::NetOutput;
 
-/// A mesh of loop-back TCP connections between `n` local "processes".
+/// A mesh of loop-back TCP connections between `n` local "processes",
+/// with one event-driven I/O thread per process.
 ///
-/// Internally each process still runs on a thread (this is a test/demo
-/// vehicle, not a deployment platform), but every message crosses a real
-/// socket through the wire codec, so the full
-/// encode → TCP → decode path is exercised.
+/// Internally each process still runs its node on a thread (this is a
+/// test/demo vehicle, not a deployment platform), but every message
+/// crosses a real socket through the wire codec, so the full
+/// encode → TCP → decode-in-place path is exercised.
 pub struct TcpCluster<N: Node>
 where
     N::Msg: Encode,
 {
     inner: ThreadCluster<MsgOverTcp<N>>,
     outbound: OutboundMesh<N::Msg>,
-    flusher_handles: Vec<JoinHandle<()>>,
-    reader_handles: Vec<JoinHandle<()>>,
-    /// One `try_clone` of every accepted stream, kept so [`shutdown`]
-    /// (`TcpCluster::shutdown`) can shut the sockets down and unblock
-    /// readers parked in `read()` on a peer that died without closing
-    /// its end.
-    reader_streams: Vec<TcpStream>,
-}
-
-/// `outbound[i][j]`: the queue feeding the `i → j` connection's flusher
-/// (`None` on the diagonal).
-type OutboundMesh<M> = Vec<Vec<Option<Arc<PeerQueue<M>>>>>;
-
-/// Maximum frames a [`PeerQueue`] holds across both lanes before `push`
-/// blocks the sending node thread. The old one-write-per-frame path got
-/// backpressure for free (the node thread blocked once the peer's TCP
-/// receive buffer filled); the queue must re-establish it, or a slow peer
-/// turns into unbounded sender-side memory growth under exactly the
-/// payload-flood workloads this repo benches.
-const MAX_OUTBOUND_FRAMES: usize = 16 * 1024;
-
-/// The two-lane outbound queue of one peer connection.
-///
-/// Pushes are cheap (append under a mutex) but **bounded**: past the
-/// capacity the pusher blocks until the flusher drains — the transport's
-/// backpressure. The flusher thread blocks on `ready` and takes
-/// *everything* pending in one batch, ordering lane first.
-///
-/// Lock poisoning is recovered, not propagated: the queue state (two
-/// deques and a flag) is valid after any partial mutation, and a panic in
-/// one node thread must not cascade into the flusher/reader threads of
-/// every peer sharing the mesh.
-struct PeerQueue<M> {
-    state: Mutex<PeerQueueState<M>>,
-    /// Signalled when work arrives or the queue closes (flusher waits).
-    ready: Condvar,
-    /// Signalled when the flusher drains or the queue closes (pushers
-    /// blocked on a full queue wait).
-    space: Condvar,
-    capacity: usize,
-}
-
-struct PeerQueueState<M> {
-    ordering: VecDeque<M>,
-    bulk: VecDeque<M>,
-    /// Set on shutdown or on a dead peer: pushes are dropped (a crashed
-    /// process loses messages — the quasi-reliable channel model).
-    closed: bool,
-}
-
-impl<M> PeerQueueState<M> {
-    fn len(&self) -> usize {
-        self.ordering.len() + self.bulk.len()
-    }
-}
-
-impl<M: WireSize> PeerQueue<M> {
-    fn new() -> Self {
-        PeerQueue::with_capacity(MAX_OUTBOUND_FRAMES)
-    }
-
-    fn with_capacity(capacity: usize) -> Self {
-        PeerQueue {
-            state: Mutex::new(PeerQueueState {
-                ordering: VecDeque::new(),
-                bulk: VecDeque::new(),
-                closed: false,
-            }),
-            ready: Condvar::new(),
-            space: Condvar::new(),
-            capacity: capacity.max(1),
-        }
-    }
-
-    /// Enqueues one message into its class lane, blocking while the queue
-    /// is at capacity (backpressure from a slow peer reaches the node
-    /// thread, as the old blocking write did). Dropped if closed.
-    fn push(&self, msg: M) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        while !s.closed && s.len() >= self.capacity {
-            s = self.space.wait(s).unwrap_or_else(|e| e.into_inner());
-        }
-        if s.closed {
-            return;
-        }
-        match msg.traffic_class() {
-            TrafficClass::Ordering => s.ordering.push_back(msg),
-            TrafficClass::Bulk => s.bulk.push_back(msg),
-        }
-        drop(s);
-        self.ready.notify_one();
-    }
-
-    /// Marks the queue closed and wakes everyone (flusher and any pushers
-    /// blocked on a full queue).
-    fn close(&self) {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
-        self.ready.notify_all();
-        self.space.notify_all();
-    }
-
-    /// Blocks until messages are pending (or the queue closed empty), then
-    /// takes the whole backlog: every ordering frame first, then every
-    /// bulk frame. Returns `None` when closed and fully drained.
-    fn next_batch(&self) -> Option<Vec<M>> {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if !s.ordering.is_empty() || !s.bulk.is_empty() {
-                let mut batch: Vec<M> = Vec::with_capacity(s.len());
-                batch.extend(s.ordering.drain(..));
-                batch.extend(s.bulk.drain(..));
-                drop(s);
-                self.space.notify_all();
-                return Some(batch);
-            }
-            if s.closed {
-                return None;
-            }
-            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-}
-
-/// The flusher loop of one peer connection: drain the queue in priority
-/// order, encode the batch into a reused scratch buffer, push it with one
-/// vectored write (see [`write_batch`]). A write failure means the peer is
-/// gone: close the queue (future pushes drop silently, like sends to a
-/// crashed process) and exit.
-fn flusher_loop<M: Encode>(queue: &PeerQueue<M>, mut stream: TcpStream, from: ProcessId) {
-    let mut scratch: Vec<u8> = Vec::new();
-    let mut bounds: Vec<usize> = Vec::new();
-    while let Some(batch) = queue.next_batch() {
-        scratch.clear();
-        bounds.clear();
-        for msg in &batch {
-            // An oversized frame is unencodable, not a transport error:
-            // skip it (write_frame_into already rolled the buffer back).
-            if write_frame_into(&Tagged { from, msg }, &mut scratch).is_ok() {
-                bounds.push(scratch.len());
-            }
-        }
-        if write_batch(&mut stream, &scratch, &bounds).is_err() {
-            queue.close();
-            break;
-        }
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-}
-
-/// Pushes one encoded batch to the socket: a single `write_vectored` over
-/// the per-frame slices (`bounds[i]` is the end offset of frame `i` in
-/// `scratch`), so the kernel gathers the frames in one syscall without a
-/// second userspace copy. Sockets are free to accept only part of an
-/// iovec, so a partial write falls back to `write_all` of the remaining
-/// bytes — the frames are contiguous in the scratch buffer, which makes
-/// the remainder a plain byte suffix regardless of which frame the short
-/// write landed in.
-fn write_batch(
-    stream: &mut TcpStream,
-    scratch: &[u8],
-    bounds: &[usize],
-) -> std::io::Result<()> {
-    if scratch.is_empty() {
-        return Ok(());
-    }
-    let mut slices: Vec<std::io::IoSlice<'_>> = Vec::with_capacity(bounds.len());
-    let mut start = 0;
-    for &end in bounds {
-        slices.push(std::io::IoSlice::new(&scratch[start..end]));
-        start = end;
-    }
-    let written = loop {
-        match stream.write_vectored(&slices) {
-            Ok(n) => break n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
-    };
-    if written < scratch.len() {
-        stream.write_all(&scratch[written..])?;
-    }
-    Ok(())
-}
-
-/// Adapter node: forwards remote sends to the per-peer outbound queues.
-///
-/// The adapter intercepts `Send` actions for remote peers and enqueues
-/// them for the peer's flusher; self-sends and everything else pass
-/// through.
-struct MsgOverTcp<N: Node> {
-    node: N,
-    me: ProcessId,
-    writers: Vec<Option<Arc<PeerQueue<N::Msg>>>>,
-}
-
-impl<N: Node> std::fmt::Debug for MsgOverTcp<N> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MsgOverTcp").field("me", &self.me).finish()
-    }
-}
-
-impl<N> Node for MsgOverTcp<N>
-where
-    N: Node,
-    N::Msg: Encode,
-{
-    type Msg = N::Msg;
-    type Command = N::Command;
-    type Output = N::Output;
-
-    fn on_start(&mut self, ctx: &mut iabc_runtime::Context<Self::Msg, Self::Output>) {
-        self.node.on_start(ctx);
-        self.redirect(ctx);
-    }
-
-    fn on_command(&mut self, cmd: Self::Command, ctx: &mut iabc_runtime::Context<Self::Msg, Self::Output>) {
-        self.node.on_command(cmd, ctx);
-        self.redirect(ctx);
-    }
-
-    fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: Self::Msg,
-        ctx: &mut iabc_runtime::Context<Self::Msg, Self::Output>,
-    ) {
-        self.node.on_message(from, msg, ctx);
-        self.redirect(ctx);
-    }
-
-    fn on_timer(&mut self, timer: iabc_runtime::TimerId, ctx: &mut iabc_runtime::Context<Self::Msg, Self::Output>) {
-        self.node.on_timer(timer, ctx);
-        self.redirect(ctx);
-    }
-}
-
-impl<N> MsgOverTcp<N>
-where
-    N: Node,
-    N::Msg: Encode,
-{
-    /// Rewrites remote sends into outbound-queue pushes, keeping
-    /// everything else.
-    fn redirect(&mut self, ctx: &mut iabc_runtime::Context<N::Msg, N::Output>) {
-        use iabc_runtime::Action;
-        let actions = ctx.take_actions();
-        for action in actions {
-            match action {
-                Action::Send { to, msg } if to != self.me => {
-                    if let Some(queue) = &self.writers[to.as_usize()] {
-                        // A dead peer's queue is closed: drops silently.
-                        queue.push(msg);
-                    }
-                }
-                other => {
-                    // Self-sends, timers, work, outputs: hand back to the
-                    // channel machinery.
-                    match other {
-                        Action::Send { to, msg } => ctx.send(to, msg),
-                        Action::SetTimer { delay, timer } => ctx.set_timer(delay, timer),
-                        Action::Work { duration } => ctx.work(duration),
-                        Action::Output(o) => ctx.output(o),
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// `(sender, message)` as one frame.
-struct Tagged<'a, M> {
-    from: ProcessId,
-    msg: &'a M,
-}
-
-impl<M: Encode> iabc_types::WireSize for Tagged<'_, M> {
-    fn wire_size(&self) -> usize {
-        2 + self.msg.wire_size()
-    }
-}
-
-impl<M: Encode> Encode for Tagged<'_, M> {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        self.from.encode(buf);
-        self.msg.encode(buf);
-    }
-}
-
-/// Owned decode-side counterpart of [`Tagged`].
-struct TaggedOwned<M> {
-    from: ProcessId,
-    msg: M,
-}
-
-impl<M: Decode + iabc_types::WireSize> iabc_types::WireSize for TaggedOwned<M> {
-    fn wire_size(&self) -> usize {
-        2 + self.msg.wire_size()
-    }
-}
-
-impl<M: Decode + iabc_types::WireSize> Decode for TaggedOwned<M> {
-    fn decode(buf: &mut &[u8]) -> Result<Self, iabc_types::CodecError> {
-        Ok(TaggedOwned { from: ProcessId::decode(buf)?, msg: M::decode(buf)? })
-    }
+    io_loops: Vec<EventLoopHandle>,
 }
 
 impl<N> TcpCluster<N>
@@ -370,8 +78,9 @@ where
     N::Command: Send,
     N::Output: Send,
 {
-    /// Binds `n` loop-back listeners, connects the full mesh, and starts
-    /// the node threads.
+    /// Binds `n` loop-back listeners, connects the full mesh (blocking
+    /// handshakes, so the cluster is fully wired before this returns),
+    /// and starts the node threads and per-process event loops.
     ///
     /// # Panics
     ///
@@ -395,10 +104,22 @@ where
             // lint:allow(P1): bootstrap, documented panic, no remote input yet
             listeners.iter().map(|l| l.local_addr().expect("local addr")).collect();
 
-        // Writer side: from i to j (i != j), an outbound queue drained by a
-        // flusher thread that owns the connected stream.
+        // One wake channel + waker per process, created up front: the node
+        // adapters (built by ThreadCluster::start) and the event loops
+        // (spawned last) share them.
+        let mut wake_rxs = Vec::with_capacity(n);
+        let mut wakers: Vec<Arc<Waker>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            // lint:allow(P1): bootstrap wake channel, documented panic, no remote input yet
+            let (tx, rx) = wake_channel().expect("wake channel");
+            wake_rxs.push(rx);
+            wakers.push(Arc::new(Waker::new(tx)));
+        }
+
+        // Outbound side: from i to j (i != j), a connected stream plus the
+        // queue that feeds it, owned by process i's event loop.
         let mut outbound: OutboundMesh<N::Msg> = (0..n).map(|_| vec![]).collect();
-        let mut flusher_handles = Vec::new();
+        let mut writer_conns: WriterConns<N::Msg> = (0..n).map(|_| vec![]).collect();
         for (i, row) in outbound.iter_mut().enumerate() {
             for (j, addr) in addrs.iter().enumerate() {
                 if i == j {
@@ -408,66 +129,71 @@ where
                     let mut stream = TcpStream::connect(addr).expect("connect to peer");
                     // lint:allow(P1): bootstrap, documented panic, no remote input yet
                     stream.set_nodelay(true).expect("nodelay");
-                    // Identify ourselves so the acceptor can route.
+                    // Identify ourselves so the acceptor can route. Written
+                    // while the stream is still blocking — the handshake is
+                    // part of the start barrier.
                     // lint:allow(P1): bootstrap handshake, documented panic, no remote input yet — lint:allow(W2): i < n and start() asserts n fits in u16
                     stream.write_all(&(i as u16).to_le_bytes()).expect("handshake");
+                    // lint:allow(P1): bootstrap, documented panic, no remote input yet
+                    stream.set_nonblocking(true).expect("nonblocking");
                     let queue = Arc::new(PeerQueue::new());
-                    // lint:allow(W2): i < n and start() asserts n fits in u16
-                    let from = ProcessId::new(i as u16);
-                    let flusher_queue = Arc::clone(&queue);
-                    flusher_handles.push(std::thread::spawn(move || {
-                        flusher_loop(&flusher_queue, stream, from);
-                    }));
+                    writer_conns[i].push((stream, Arc::clone(&queue)));
                     row.push(Some(queue));
                 }
             }
         }
 
         let writers_for_nodes = outbound.clone();
+        let wakers_for_nodes = wakers.clone();
         let inner = ThreadCluster::start(n, move |p| MsgOverTcp {
             node: factory(p),
             me: p,
             writers: writers_for_nodes[p.as_usize()].clone(),
+            waker: Some(Arc::clone(&wakers_for_nodes[p.as_usize()])),
         });
 
-        // Reader threads: accept n-1 inbound connections per listener and
-        // pump decoded frames into the owning node via its command channel —
-        // we reuse the ThreadCluster's message path by injecting through a
-        // dedicated channel pair.
-        let injectors: Vec<Sender<(ProcessId, N::Msg)>> = (0..n)
-            .map(|j| {
-                let (tx, rx) = unbounded::<(ProcessId, N::Msg)>();
-                // lint:allow(W2): j < n and start() asserts n fits in u16
-                let inner_tx = inner.message_injector(ProcessId::new(j as u16));
-                std::thread::spawn(move || {
-                    while let Ok((from, msg)) = rx.recv() {
-                        if inner_tx(from, msg).is_err() {
-                            return;
-                        }
-                    }
-                });
-                tx
-            })
-            .collect();
-
-        let mut reader_handles = Vec::new();
-        let mut reader_streams = Vec::new();
-        for (j, listener) in listeners.into_iter().enumerate() {
+        // Inbound side: accept n-1 connections per listener (blocking — the
+        // start barrier again), read the 2-byte sender handshake, then flip
+        // the stream nonblocking for the event loop.
+        let mut inbound_conns: Vec<Vec<TcpStream>> = Vec::with_capacity(n);
+        for listener in &listeners {
+            let mut accepted = Vec::with_capacity(n - 1);
             for _ in 0..(n - 1) {
                 // lint:allow(P1): bootstrap accept, documented panic, no remote input yet
-                let (stream, _) = listener.accept().expect("accept peer connection");
+                let (mut stream, _) = listener.accept().expect("accept peer connection");
                 // lint:allow(P1): bootstrap, documented panic, no remote input yet
                 stream.set_nodelay(true).expect("nodelay");
+                let mut id = [0u8; 2];
+                // lint:allow(P1): bootstrap handshake, documented panic, no remote input yet
+                stream.read_exact(&mut id).expect("handshake");
+                let _claimed_sender = ProcessId::new(u16::from_le_bytes(id));
                 // lint:allow(P1): bootstrap, documented panic, no remote input yet
-                reader_streams.push(stream.try_clone().expect("clone reader stream"));
-                let inject = injectors[j].clone();
-                reader_handles.push(std::thread::spawn(move || {
-                    reader_loop::<N>(stream, inject);
-                }));
+                stream.set_nonblocking(true).expect("nonblocking");
+                accepted.push(stream);
             }
+            inbound_conns.push(accepted);
         }
 
-        TcpCluster { inner, outbound, flusher_handles, reader_handles, reader_streams }
+        // Spawn the event loops last, now that the node threads exist to
+        // inject into.
+        let mut io_loops = Vec::with_capacity(n);
+        for (j, (inbound, writers)) in
+            inbound_conns.into_iter().zip(writer_conns).enumerate()
+        {
+            // lint:allow(W2): j < n and start() asserts n fits in u16
+            let me = ProcessId::new(j as u16);
+            let inject = inner.message_injector(me);
+            io_loops.push(event_loop::spawn(
+                me,
+                inbound,
+                writers,
+                wake_rxs.remove(0),
+                Arc::clone(&wakers[j]),
+                inject,
+            ));
+        }
+
+        TcpCluster { inner, outbound, io_loops }
     }
 
     /// Sends an application command to process `p`.
@@ -480,69 +206,41 @@ where
         self.inner.run_for(dur)
     }
 
-    /// Stops node threads and closes sockets.
+    /// Collects outputs until `count` have arrived or `timeout` elapses —
+    /// the latency-friendly alternative to [`TcpCluster::run_for`] when
+    /// the caller knows how many outputs to expect (benches, tests).
+    pub fn wait_for_outputs(
+        &mut self,
+        count: usize,
+        timeout: std::time::Duration,
+    ) -> Vec<NetOutput<N::Output>> {
+        self.inner.wait_for_outputs(count, timeout)
+    }
+
+    /// Stops node threads, event loops, and sockets. Never hangs on a
+    /// dead peer: outbound backlog is flushed best-effort, not awaited.
     pub fn shutdown(self) {
-        // Closing the queues lets each flusher drain its backlog and shut
-        // its stream down, which in turn unblocks the remote readers.
+        // Closing the queues stops new frames and lets each loop drain its
+        // backlog; the wakes make that prompt.
         for row in &self.outbound {
             for q in row.iter().flatten() {
                 q.close();
             }
         }
-        for h in self.flusher_handles {
-            let _ = h.join();
+        for l in &self.io_loops {
+            l.waker.wake();
         }
+        // Node threads stop next — a node blocked in a backpressure push
+        // was released by the close above.
         self.inner.shutdown();
-        // A reader whose peer died *without* closing its socket (a hung or
-        // killed flusher never reaches its own shutdown call) stays parked
-        // in `read()` forever; shutting the accepted sockets down here
-        // forces those reads to return, so the joins below can never hang.
-        for s in &self.reader_streams {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        // Finally the loops: one last nonblocking flush pass, then the
+        // sockets come down. Bounded by a poll tick even if a peer's
+        // socket went silent without closing.
+        for l in &self.io_loops {
+            l.stop();
         }
-        for h in self.reader_handles {
-            let _ = h.join();
-        }
-    }
-}
-
-fn reader_loop<N>(mut stream: TcpStream, inject: Sender<(ProcessId, N::Msg)>)
-where
-    N: Node,
-    N::Msg: Decode,
-{
-    // Handshake: the 2-byte sender id.
-    let mut id = [0u8; 2];
-    if std::io::Read::read_exact(&mut stream, &mut id).is_err() {
-        return;
-    }
-    let _claimed_sender = ProcessId::new(u16::from_le_bytes(id));
-    let mut frames = FrameBuffer::new();
-    let mut chunk = [0u8; 16 * 1024];
-    loop {
-        // Drain every complete frame before reading more bytes.
-        loop {
-            match frames.next_frame::<TaggedOwned<N::Msg>>() {
-                Ok(Some(t)) => {
-                    if inject.send((t.from, t.msg)).is_err() {
-                        let _ = stream.shutdown(std::net::Shutdown::Both);
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    // Corrupt or oversized frame: the buffer is poisoned
-                    // (framing is unrecoverable), so tear the connection
-                    // down instead of spinning on the same bytes.
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                    return;
-                }
-            }
-        }
-        match std::io::Read::read(&mut stream, &mut chunk) {
-            Ok(0) => return, // peer closed
-            Ok(read) => frames.extend(&chunk[..read]),
-            Err(_) => return,
+        for l in self.io_loops {
+            l.join();
         }
     }
 }
@@ -550,9 +248,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::write_frame;
     use iabc_runtime::Context;
-    use iabc_types::CodecError;
+    use iabc_types::{CodecError, TrafficClass, WireSize};
 
     #[derive(Clone, Debug, PartialEq)]
     struct Num(u32);
@@ -586,73 +283,10 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_stream_drops_connection_after_first_error() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut client = TcpStream::connect(addr).unwrap();
-        let (server, _) = listener.accept().unwrap();
-        let (tx, rx) = unbounded::<(ProcessId, Num)>();
-        let reader = std::thread::spawn(move || reader_loop::<Echo>(server, tx));
-
-        // Handshake, then one good frame.
-        client.write_all(&1u16.to_le_bytes()).unwrap();
-        write_frame(&Tagged { from: ProcessId::new(1), msg: &Num(42) }, &mut client).unwrap();
-        // A malformed frame: the length prefix says 2 bytes, which can
-        // never decode as a Tagged<Num>.
-        client.write_all(&2u32.to_le_bytes()).unwrap();
-        client.write_all(&[0xAB, 0xCD]).unwrap();
-        // A good frame after the corruption must never be delivered (the
-        // reader may already have torn the socket down — ignore errors).
-        let _ = write_frame(&Tagged { from: ProcessId::new(1), msg: &Num(7) }, &mut client);
-
-        let first = rx.recv_timeout(std::time::Duration::from_secs(5));
-        assert_eq!(first.unwrap(), (ProcessId::new(1), Num(42)));
-        // The reader drops the connection and its injector on first error:
-        // the channel disconnects instead of yielding Num(7).
-        assert!(
-            rx.recv_timeout(std::time::Duration::from_secs(5)).is_err(),
-            "no frame may be delivered after a decode error"
-        );
-        reader.join().unwrap();
-    }
-
-    #[test]
-    fn shutdown_unblocks_a_reader_stuck_on_a_silent_peer() {
-        // A peer that dies without closing its socket (hung flusher, killed
-        // process) leaves the reader parked in read(); shutting the
-        // accepted socket down — what TcpCluster::shutdown now does before
-        // joining — must force that read to return.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut client = TcpStream::connect(addr).unwrap();
-        let (server, _) = listener.accept().unwrap();
-        let shutdown_handle = server.try_clone().unwrap();
-        let (tx, rx) = unbounded::<(ProcessId, Num)>();
-        let (done_tx, done_rx) = unbounded::<()>();
-        std::thread::spawn(move || {
-            reader_loop::<Echo>(server, tx);
-            let _ = done_tx.send(());
-        });
-        // Handshake, then silence: the reader is now blocked in read().
-        client.write_all(&1u16.to_le_bytes()).unwrap();
-        assert!(
-            done_rx.recv_timeout(std::time::Duration::from_millis(100)).is_err(),
-            "reader must still be blocked on the silent peer"
-        );
-        shutdown_handle.shutdown(std::net::Shutdown::Both).unwrap();
-        assert!(
-            done_rx.recv_timeout(std::time::Duration::from_secs(5)).is_ok(),
-            "socket shutdown must unblock the reader"
-        );
-        drop(client);
-        drop(rx);
-    }
-
-    #[test]
     fn fanout_over_tcp() {
         let mut cluster = TcpCluster::start(3, |_| Echo);
         cluster.send_command(ProcessId::new(1), 77);
-        let outs = cluster.run_for(std::time::Duration::from_millis(400));
+        let outs = cluster.wait_for_outputs(3, std::time::Duration::from_secs(5));
         assert_eq!(outs.len(), 3, "all three processes must receive the fanout");
         assert!(outs.iter().all(|o| o.output == (ProcessId::new(1), 77)));
         cluster.shutdown();
@@ -681,151 +315,6 @@ mod tests {
     }
 
     #[test]
-    fn outbound_queue_drains_ordering_ahead_of_bulk() {
-        let q: PeerQueue<Classed> = PeerQueue::new();
-        for v in [2, 4, 1, 6, 3] {
-            q.push(Classed(v));
-        }
-        let batch = q.next_batch().expect("queue not closed");
-        let vals: Vec<u32> = batch.iter().map(|c| c.0).collect();
-        // Ordering lane first (FIFO within the lane), then bulk FIFO.
-        assert_eq!(vals, vec![1, 3, 2, 4, 6]);
-        // Queue now empty: close makes next_batch return None.
-        q.close();
-        assert!(q.next_batch().is_none());
-        // Pushes after close are dropped (crashed-peer semantics).
-        q.push(Classed(9));
-        assert!(q.next_batch().is_none());
-    }
-
-    #[test]
-    fn full_queue_blocks_the_pusher_until_the_flusher_drains() {
-        let q: Arc<PeerQueue<Classed>> = Arc::new(PeerQueue::with_capacity(4));
-        for v in 0..4 {
-            q.push(Classed(v));
-        }
-        // The fifth push must block (backpressure), not grow the queue.
-        let pq = Arc::clone(&q);
-        let pusher = std::thread::spawn(move || pq.push(Classed(99)));
-        std::thread::sleep(std::time::Duration::from_millis(50));
-        assert!(!pusher.is_finished(), "push past capacity must block");
-        // Draining frees space and unblocks it.
-        let batch = q.next_batch().expect("open queue");
-        assert_eq!(batch.len(), 4);
-        pusher.join().unwrap();
-        let batch = q.next_batch().expect("open queue");
-        assert_eq!(batch.iter().map(|c| c.0).collect::<Vec<_>>(), vec![99]);
-        // close() releases blocked pushers too (message dropped).
-        for v in 0..4 {
-            q.push(Classed(v));
-        }
-        let pq = Arc::clone(&q);
-        let pusher = std::thread::spawn(move || pq.push(Classed(100)));
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        q.close();
-        pusher.join().unwrap();
-    }
-
-    #[test]
-    fn flusher_coalesces_a_batch_into_one_stream_write() {
-        // Drive a real flusher thread over a socket pair and check that
-        // every frame of a mixed burst arrives, ordering frames first.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let stream = TcpStream::connect(addr).unwrap();
-        let (mut server, _) = listener.accept().unwrap();
-
-        let queue: Arc<PeerQueue<Classed>> = Arc::new(PeerQueue::new());
-        // Fill the queue *before* the flusher starts, so the whole burst
-        // is one batch (and one write_all).
-        for v in [2, 4, 1, 6, 3, 8, 5] {
-            queue.push(Classed(v));
-        }
-        let fq = Arc::clone(&queue);
-        let flusher =
-            std::thread::spawn(move || flusher_loop(&fq, stream, ProcessId::new(0)));
-
-        let mut frames = FrameBuffer::new();
-        let mut got: Vec<u32> = Vec::new();
-        let mut chunk = [0u8; 4096];
-        while got.len() < 7 {
-            let read = std::io::Read::read(&mut server, &mut chunk).unwrap();
-            assert!(read > 0, "stream closed before the batch arrived");
-            frames.extend(&chunk[..read]);
-            while let Some(t) = frames.next_frame::<TaggedOwned<Classed>>().unwrap() {
-                assert_eq!(t.from, ProcessId::new(0));
-                got.push(t.msg.0);
-            }
-        }
-        assert_eq!(got, vec![1, 3, 5, 2, 4, 6, 8], "ordering lane must drain first");
-        queue.close();
-        flusher.join().unwrap();
-    }
-
-    /// A bulk frame big enough that a batch of them overflows any socket
-    /// send buffer, forcing `write_vectored` to return short and the
-    /// flusher to take the scratch-suffix `write_all` fallback.
-    #[derive(Clone, Debug, PartialEq)]
-    struct Big(u32);
-    const BIG_LEN: usize = 4096;
-    impl WireSize for Big {
-        fn wire_size(&self) -> usize {
-            4 + BIG_LEN
-        }
-    }
-    impl Encode for Big {
-        fn encode(&self, buf: &mut Vec<u8>) {
-            self.0.encode(buf);
-            buf.extend(std::iter::repeat_n((self.0 % 251) as u8, BIG_LEN));
-        }
-    }
-    impl Decode for Big {
-        fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
-            let id = u32::decode(buf)?;
-            let (body, rest) = buf.split_at(BIG_LEN);
-            assert!(body.iter().all(|&b| b == (id % 251) as u8), "frame body corrupted");
-            *buf = rest;
-            Ok(Big(id))
-        }
-    }
-
-    #[test]
-    fn vectored_flush_survives_partial_writes_on_huge_batches() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let stream = TcpStream::connect(addr).unwrap();
-        let (mut server, _) = listener.accept().unwrap();
-
-        // ~2 MiB queued before the flusher starts: one batch, far past the
-        // socket buffer, so the single write_vectored cannot take it all.
-        const FRAMES: u32 = 512;
-        let queue: Arc<PeerQueue<Big>> = Arc::new(PeerQueue::new());
-        for v in 0..FRAMES {
-            queue.push(Big(v));
-        }
-        let fq = Arc::clone(&queue);
-        let flusher = std::thread::spawn(move || flusher_loop(&fq, stream, ProcessId::new(2)));
-
-        let mut frames = FrameBuffer::new();
-        let mut got: Vec<u32> = Vec::new();
-        let mut chunk = [0u8; 64 * 1024];
-        while got.len() < FRAMES as usize {
-            let read = std::io::Read::read(&mut server, &mut chunk).unwrap();
-            assert!(read > 0, "stream closed before the batch arrived");
-            frames.extend(&chunk[..read]);
-            while let Some(t) = frames.next_frame::<TaggedOwned<Big>>().unwrap() {
-                assert_eq!(t.from, ProcessId::new(2));
-                got.push(t.msg.0);
-            }
-        }
-        // Every frame arrived intact (the Decode impl checks the body),
-        // in FIFO order — whichever frame the short write split.
-        assert_eq!(got, (0..FRAMES).collect::<Vec<_>>());
-        queue.close();
-        flusher.join().unwrap();
-    }
-
-    #[test]
     fn mixed_class_traffic_over_tcp_delivers_everything() {
         struct MixedEcho;
         impl Node for MixedEcho {
@@ -848,8 +337,22 @@ mod tests {
         for v in 0..20u32 {
             cluster.send_command(ProcessId::new((v % 3) as u16), v);
         }
-        let outs = cluster.run_for(std::time::Duration::from_millis(600));
+        let outs = cluster.wait_for_outputs(20 * 3, std::time::Duration::from_secs(10));
         assert_eq!(outs.len(), 20 * 3, "every classed frame must reach all processes");
         cluster.shutdown();
+    }
+
+    #[test]
+    fn sequential_clusters_reuse_cleanly() {
+        // The respawn pattern: a second cluster starting after the first
+        // one's shutdown must come up clean (no leaked loops or wedged
+        // sockets from the first).
+        for round in 0..2u32 {
+            let mut cluster = TcpCluster::start(2, |_| Echo);
+            cluster.send_command(ProcessId::new(0), round);
+            let outs = cluster.wait_for_outputs(2, std::time::Duration::from_secs(5));
+            assert_eq!(outs.len(), 2);
+            cluster.shutdown();
+        }
     }
 }

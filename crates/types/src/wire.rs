@@ -105,6 +105,35 @@ pub trait Decode: Sized {
         }
         Ok(v)
     }
+
+    /// Decodes one complete frame body whose bytes live in a
+    /// **transport-owned receive buffer** that is reused (overwritten) as
+    /// soon as this call returns.
+    ///
+    /// This is the borrowing entry point of the zero-copy receive path:
+    /// the transport hands the frame bytes to the decoder *in place* —
+    /// sliced straight out of the pooled socket buffer, with no
+    /// intermediate re-assembly copy. The contract for implementations:
+    ///
+    /// * the input slice is only valid for the duration of the call —
+    ///   anything the decoded value keeps must be copied out;
+    /// * bulk fields (payload bytes) should be copied **at most once**,
+    ///   directly into their long-lived store (e.g. `Payload`'s
+    ///   `Arc<[u8]>`), never via a temporary.
+    ///
+    /// The default delegates to [`Decode::from_bytes`], which already
+    /// satisfies the contract for every type in this workspace: `decode`
+    /// borrows from the slice and copies each owned field exactly once.
+    /// Override only to exploit frame-level knowledge (e.g. skipping a
+    /// redundant length check).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decode::from_bytes`]: truncated or invalid encodings and
+    /// trailing bytes.
+    fn decode_in_place(frame: &[u8]) -> Result<Self, CodecError> {
+        Self::from_bytes(frame)
+    }
 }
 
 macro_rules! impl_codec_for_int {
