@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::marker::PhantomData;
 
-use iabc_types::{quorum, ProcessId};
+use iabc_types::{quorum, ProcessId, ProcessSet};
 
 use crate::msg::{ConsDest, ConsMsg};
 use crate::value::ConsensusValue;
@@ -97,6 +97,10 @@ pub struct CtMachine<V, P: CtPolicy> {
     /// (load balancing; coordinator work would otherwise pile onto one
     /// process across every instance of the atomic broadcast reduction).
     coord_offset: u64,
+    /// Processes that never participate in consensus (learners / read
+    /// replicas). Coordinator rotation skips them and quorums count only
+    /// the remaining actives. Empty by default — the classic algorithm.
+    passive: ProcessSet,
     /// Current round `r_p` (1-based; 0 before `propose`).
     round: u64,
     /// `estimate_p`: the value this process vouches for.
@@ -149,11 +153,31 @@ impl<V: ConsensusValue, P: CtPolicy> CtMachine<V, P> {
     ///
     /// Panics if `n == 0`.
     pub fn with_coord_offset(me: ProcessId, n: usize, offset: u64) -> Self {
+        Self::with_membership(me, n, offset, ProcessSet::new())
+    }
+
+    /// Like [`CtMachine::with_coord_offset`], with `passive` processes
+    /// (learners / read replicas) excluded from the protocol: they are
+    /// never selected as coordinator, and quorums are majorities of the
+    /// *active* processes only. With an empty `passive` set this is
+    /// byte-identical to the classic algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, if `passive` names a process outside the
+    /// system, or if no active process remains.
+    pub fn with_membership(me: ProcessId, n: usize, offset: u64, passive: ProcessSet) -> Self {
         assert!(n > 0, "system must have at least one process");
+        assert!(
+            passive.difference(ProcessSet::full(n)).is_empty(),
+            "passive set names processes outside the system"
+        );
+        assert!(passive.len() < n, "at least one process must stay active");
         CtMachine {
             me,
             n,
             coord_offset: offset,
+            passive,
             round: 0,
             estimate: None,
             ts: 0,
@@ -168,13 +192,26 @@ impl<V: ConsensusValue, P: CtPolicy> CtMachine<V, P> {
         }
     }
 
-    /// The majority quorum `⌈(n+1)/2⌉`.
+    /// The majority quorum `⌈(a+1)/2⌉` over the `a` *active* processes
+    /// (all `n` when no passive set is configured).
     fn quorum(&self) -> usize {
-        quorum::majority(self.n)
+        quorum::majority(self.n - self.passive.len())
     }
 
     fn coord(&self, round: u64) -> ProcessId {
-        ProcessId::coordinator_of_round(round + self.coord_offset, self.n)
+        if self.passive.is_empty() {
+            return ProcessId::coordinator_of_round(round + self.coord_offset, self.n);
+        }
+        // Rotate over the sorted active ids only: a passive process never
+        // coordinates, so no round is wasted waiting to suspect a replica
+        // that by design stays silent.
+        let actives = self.n - self.passive.len();
+        let idx = ((round + self.coord_offset) % actives as u64) as usize;
+        ProcessId::all(self.n)
+            .filter(|p| !self.passive.contains(*p))
+            .nth(idx)
+            // lint:allow(P1): local invariant, not remote data — the constructor asserts at least one active process
+            .expect("at least one active process")
     }
 
     /// Current round (for tests and debugging).
@@ -571,5 +608,46 @@ mod tests {
         }
         assert_eq!(net.decisions[0], net.decisions[3]);
         assert_eq!(net.decisions[3], net.decisions[4]);
+    }
+
+    #[test]
+    fn membership_rotation_skips_passive_and_shrinks_quorum() {
+        let mut passive = ProcessSet::new();
+        passive.insert(p(3));
+        let m: CtConsensus<IdSet> = CtMachine::with_membership(p(0), 4, 0, passive);
+        // Rounds rotate over the sorted actives {p0, p1, p2} only: the
+        // learner p3 never coordinates, so no round stalls on a process
+        // that by design answers nothing.
+        let coords: Vec<_> = (1..=6).map(|r| m.coord(r)).collect();
+        assert_eq!(coords, vec![p(1), p(2), p(0), p(1), p(2), p(0)]);
+        assert_eq!(m.quorum(), 2, "majority of the 3 actives, not of all 4");
+    }
+
+    #[test]
+    fn empty_passive_set_matches_the_classic_rotation() {
+        for offset in 0..5u64 {
+            let classic: CtConsensus<IdSet> = CtMachine::with_coord_offset(p(1), 4, offset);
+            let member: CtConsensus<IdSet> =
+                CtMachine::with_membership(p(1), 4, offset, ProcessSet::new());
+            for r in 1..=9 {
+                assert_eq!(classic.coord(r), member.coord(r));
+            }
+            assert_eq!(classic.quorum(), member.quorum());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process must stay active")]
+    fn all_passive_membership_panics() {
+        let _: CtConsensus<IdSet> =
+            CtMachine::with_membership(p(0), 2, 0, ProcessSet::full(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the system")]
+    fn passive_outside_the_system_panics() {
+        let mut passive = ProcessSet::new();
+        passive.insert(p(7));
+        let _: CtConsensus<IdSet> = CtMachine::with_membership(p(0), 3, 0, passive);
     }
 }

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
 
-use iabc_types::{quorum, ProcessId};
+use iabc_types::{quorum, ProcessId, ProcessSet};
 
 use crate::msg::{ConsDest, ConsMsg};
 use crate::value::ConsensusValue;
@@ -108,6 +108,9 @@ pub struct MrMachine<V, P: MrPolicy> {
     /// Round-offset for coordinator rotation across instances (see
     /// [`crate::ct::CtMachine::with_coord_offset`]).
     coord_offset: u64,
+    /// Processes that never participate in consensus (learners / read
+    /// replicas); see [`crate::ct::CtMachine::with_membership`].
+    passive: ProcessSet,
     round: u64,
     /// `estimate_p`.
     estimate: Option<V>,
@@ -149,11 +152,31 @@ impl<V: ConsensusValue, P: MrPolicy> MrMachine<V, P> {
     ///
     /// Panics if `n == 0`.
     pub fn with_coord_offset(me: ProcessId, n: usize, offset: u64) -> Self {
+        Self::with_membership(me, n, offset, ProcessSet::new())
+    }
+
+    /// Like [`MrMachine::with_coord_offset`], with `passive` processes
+    /// (learners / read replicas) excluded from the protocol: never
+    /// selected as coordinator, and Phase 2 quorums are computed over the
+    /// *active* processes only. With an empty `passive` set this is
+    /// byte-identical to the classic algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, if `passive` names a process outside the
+    /// system, or if no active process remains.
+    pub fn with_membership(me: ProcessId, n: usize, offset: u64, passive: ProcessSet) -> Self {
         assert!(n > 0, "system must have at least one process");
+        assert!(
+            passive.difference(ProcessSet::full(n)).is_empty(),
+            "passive set names processes outside the system"
+        );
+        assert!(passive.len() < n, "at least one process must stay active");
         MrMachine {
             me,
             n,
             coord_offset: offset,
+            passive,
             round: 0,
             estimate: None,
             wait: Wait::NotStarted,
@@ -165,7 +188,23 @@ impl<V: ConsensusValue, P: MrPolicy> MrMachine<V, P> {
     }
 
     fn coord(&self, round: u64) -> ProcessId {
-        ProcessId::coordinator_of_round(round + self.coord_offset, self.n)
+        if self.passive.is_empty() {
+            return ProcessId::coordinator_of_round(round + self.coord_offset, self.n);
+        }
+        // Rotate over the sorted active ids only (see CtMachine::coord).
+        let actives = self.active_n();
+        let idx = ((round + self.coord_offset) % actives as u64) as usize;
+        ProcessId::all(self.n)
+            .filter(|p| !self.passive.contains(*p))
+            .nth(idx)
+            // lint:allow(P1): local invariant, not remote data — the constructor asserts at least one active process
+            .expect("at least one active process")
+    }
+
+    /// Number of active (non-passive) processes: the `n` every quorum and
+    /// adoption threshold is computed over.
+    fn active_n(&self) -> usize {
+        self.n - self.passive.len()
     }
 
     /// Current round (for tests and debugging).
@@ -257,7 +296,7 @@ impl<V: ConsensusValue, P: MrPolicy> MrMachine<V, P> {
         }
         let r = self.round;
         let Some(echoes) = self.phase2.get(&r) else { return false };
-        if echoes.len() < P::quorum(self.n) {
+        if echoes.len() < P::quorum(self.active_n()) {
             return false;
         }
         // rec_p over exactly the quorum received.
@@ -287,7 +326,7 @@ impl<V: ConsensusValue, P: MrPolicy> MrMachine<V, P> {
             }
             (Some(v), _) => {
                 // rec_p = {v, ⊥}: adopt if the policy allows (lines 27–29).
-                if P::phase2_adopt(&v, valid_count, self.n, env, out) {
+                if P::phase2_adopt(&v, valid_count, self.active_n(), env, out) {
                     self.estimate = Some(v);
                 }
                 true // next round
@@ -482,5 +521,37 @@ mod tests {
         for a in &net.algos {
             assert_eq!(a.round(), 1, "no algorithm should pass round 1");
         }
+    }
+
+    #[test]
+    fn membership_rotation_skips_passive_and_shrinks_quorum() {
+        let mut passive = ProcessSet::new();
+        passive.insert(p(1));
+        let m: MrConsensus<IdSet> = MrMachine::with_membership(p(0), 4, 0, passive);
+        // Rounds rotate over the sorted actives {p0, p2, p3} only.
+        let coords: Vec<_> = (1..=6).map(|r| m.coord(r)).collect();
+        assert_eq!(coords, vec![p(2), p(3), p(0), p(2), p(3), p(0)]);
+        assert_eq!(m.active_n(), 3);
+        assert_eq!(DirectMr::quorum(m.active_n()), 2, "majority of the 3 actives");
+    }
+
+    #[test]
+    fn empty_passive_set_matches_the_classic_rotation() {
+        for offset in 0..5u64 {
+            let classic: MrConsensus<IdSet> = MrMachine::with_coord_offset(p(1), 4, offset);
+            let member: MrConsensus<IdSet> =
+                MrMachine::with_membership(p(1), 4, offset, ProcessSet::new());
+            for r in 1..=9 {
+                assert_eq!(classic.coord(r), member.coord(r));
+            }
+            assert_eq!(classic.active_n(), member.active_n());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process must stay active")]
+    fn all_passive_membership_panics() {
+        let _: MrConsensus<IdSet> =
+            MrMachine::with_membership(p(0), 2, 0, ProcessSet::full(2));
     }
 }

@@ -51,6 +51,7 @@ pub mod envelope;
 pub mod monitor;
 pub mod msgset;
 pub mod node;
+pub mod pending;
 pub mod stacks;
 pub mod store;
 
@@ -61,6 +62,7 @@ pub use envelope::Envelope;
 pub use monitor::{AbcastChecker, Violation};
 pub use msgset::MsgSet;
 pub use node::{AbcastNode, OrderingValue, PipelineConfig, PipelineProbe, WindowController};
+pub use pending::{DurablePendingStore, MemPendingStore, PendingStore};
 pub use stacks::{ConsensusFamily, RbKind, StackParams, VariantKind};
 pub use store::{CostModel, ReceivedStore};
 

@@ -339,6 +339,7 @@ impl WindowController {
 use crate::decided::{DecidedEntry, DecidedLog, MemDecidedLog};
 use crate::envelope::Envelope;
 use crate::msgset::MsgSet;
+use crate::pending::{MemPendingStore, PendingStore};
 use crate::store::{CostModel, ReceivedStore};
 use crate::{AbcastCommand, AbcastEvent};
 
@@ -369,8 +370,14 @@ const KEEP_DECIDED_INSTANCES: u64 = 8;
 /// a deep gap streams as bounded batches instead of one giant frame.
 const CATCH_UP_BATCH: u64 = 64;
 
-/// How long to wait for a [`Envelope::CatchUpReply`] before re-requesting.
+/// Initial wait for a [`Envelope::CatchUpReply`] before re-requesting.
+/// Each unanswered request doubles the wait (exponential backoff) up to
+/// [`CATCH_UP_RETRY_MAX`]; a reply resets it. A fixed short retry would
+/// hammer a partitioned or overloaded peer with requests it cannot answer.
 const CATCH_UP_RETRY: Duration = Duration::from_millis(25);
+
+/// Upper bound of the catch-up retry backoff.
+const CATCH_UP_RETRY_MAX: Duration = Duration::from_millis(400);
 
 /// A value type the atomic broadcast reduction can order by.
 ///
@@ -592,6 +599,18 @@ pub struct AbcastNode<V: OrderingValue, A: SingleConsensus<V>> {
     /// that were ahead of `next_apply` when they arrived (recovery
     /// metric).
     caught_up_entries: u64,
+    /// Current catch-up retry delay: doubles per unanswered request up to
+    /// [`CATCH_UP_RETRY_MAX`], resets to [`CATCH_UP_RETRY`] on a reply.
+    catch_up_retry: Duration,
+    /// Accepted-but-undecided broadcasts (`Some` iff `catch_up` is
+    /// configured on a non-learner): recorded at `on_command`, cleared
+    /// when the instance that orders them reaches the decided log,
+    /// re-flooded on restart and after catch-up episodes. Defaults to a
+    /// [`MemPendingStore`]; [`AbcastNode::set_pending_store`] swaps in a
+    /// durable sidecar before start.
+    pending: Option<Box<dyn PendingStore>>,
+    /// Pending broadcasts re-flooded so far (repair metric).
+    pending_refloods: u64,
 }
 
 /// Bookkeeping for one applied instance whose deliveries are still
@@ -678,6 +697,10 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             catch_up_epoch: 0,
             catch_up_requests: 0,
             caught_up_entries: 0,
+            catch_up_retry: CATCH_UP_RETRY,
+            pending: (pipeline.catch_up && !pipeline.learner)
+                .then(|| Box::new(MemPendingStore::new()) as Box<dyn PendingStore>),
+            pending_refloods: 0,
         }
     }
 
@@ -691,6 +714,18 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     pub fn set_decided_log(&mut self, log: Box<dyn DecidedLog<V>>) {
         if self.log.is_some() {
             self.log = Some(log);
+        }
+    }
+
+    /// Replaces the pending-broadcast store — typically with a
+    /// [`crate::pending::DurablePendingStore`] sidecar next to the durable
+    /// decided log, so accepted-but-undecided broadcasts survive a
+    /// restart and are re-flooded. Call before the node starts, like
+    /// [`AbcastNode::set_decided_log`]. No-op unless `catch_up` was
+    /// configured on a non-learner.
+    pub fn set_pending_store(&mut self, store: Box<dyn PendingStore>) {
+        if self.pending.is_some() {
+            self.pending = Some(store);
         }
     }
 
@@ -827,6 +862,18 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     /// Whether this node is a learner (read replica).
     pub fn is_learner(&self) -> bool {
         self.learner
+    }
+
+    /// Accepted broadcasts whose instance has not reached the decided log
+    /// yet (0 when pending tracking is off).
+    pub fn pending_broadcasts(&self) -> usize {
+        self.pending.as_ref().map_or(0, |p| p.entries().len())
+    }
+
+    /// Pending broadcasts re-flooded so far (restart and post-catch-up
+    /// repair; see [`crate::pending`]).
+    pub fn pending_refloods(&self) -> u64 {
+        self.pending_refloods
     }
 
     /// Wraps an outgoing frame with the decided frontier when catch-up is
@@ -1214,6 +1261,17 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         let Some(log) = self.log.as_mut() else { return };
         while self.pending_log.front().is_some_and(|p| p.remaining == 0) {
             let Some(p) = self.pending_log.pop_front() else { break };
+            // Own broadcasts ordered by this instance are now self-contained
+            // in the log entry: drop them from the pending set. Clearing
+            // only here (not at decision time) keeps the window closed — a
+            // crash between decision and append still re-floods.
+            if let Some(pending) = self.pending.as_mut() {
+                for id in p.value.ids().iter() {
+                    if id.sender() == self.me {
+                        pending.settle(id);
+                    }
+                }
+            }
             log.append(DecidedEntry { k: p.k, value: p.value, payloads: p.payloads });
         }
     }
@@ -1243,6 +1301,68 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
         }
         self.next_apply = frontier.saturating_add(1);
         self.proposed_hi = self.proposed_hi.max(frontier);
+    }
+
+    /// Restart path, part two (after [`AbcastNode::recover_from_log`]):
+    /// reloads the pending set, resumes `next_seq` past every pending id
+    /// (the pending journal can be ahead of the decided log), clears
+    /// entries whose instance already made it into the reloaded log, and
+    /// re-floods the rest. The old incarnation's RB state died with it, so
+    /// `broadcast` floods afresh; receivers dedupe by id, making the
+    /// re-flood idempotent.
+    fn recover_pending(&mut self, ctx: &mut Ctx<V>) {
+        let entries = {
+            let Some(pending) = self.pending.as_mut() else { return };
+            pending.reload();
+            pending.entries().to_vec()
+        };
+        if entries.is_empty() {
+            return;
+        }
+        for m in &entries {
+            let id = m.id();
+            if id.sender() == self.me {
+                self.next_seq = self.next_seq.max(id.seq().saturating_add(1));
+            }
+        }
+        let (logged, live): (Vec<AppMessage>, Vec<AppMessage>) = entries
+            .into_iter()
+            .partition(|m| self.ordered_ever.contains(&m.id()));
+        if let Some(pending) = self.pending.as_mut() {
+            // The previous incarnation crashed between appending the
+            // instance and clearing its pending entries: finish the job.
+            for m in logged {
+                pending.settle(m.id());
+            }
+        }
+        for m in live {
+            self.pending_refloods += 1;
+            let mut bout = BcastOut::new();
+            self.bcast.broadcast(m, &mut bout);
+            self.apply_bcast_out(bout, ctx);
+        }
+    }
+
+    /// Re-floods every pending broadcast not yet ordered, as direct RB
+    /// relay frames (the live RB layer has already seen these ids, so
+    /// `broadcast` would no-op). Called when a catch-up episode settles:
+    /// a node that just healed from a partition repairs any payload its
+    /// peers shed while it was unreachable. Receivers dedupe by id.
+    fn reflood_pending(&mut self, ctx: &mut Ctx<V>) {
+        let msgs: Vec<AppMessage> = match self.pending.as_ref() {
+            Some(p) => p
+                .entries()
+                .iter()
+                .filter(|m| !self.ordered_ever.contains(&m.id()))
+                .cloned()
+                .collect(),
+            None => return,
+        };
+        for m in msgs {
+            self.pending_refloods += 1;
+            let relay = self.wrap(Envelope::Bcast(iabc_broadcast::BcastMsg::Relay(m)));
+            ctx.send_to_others(relay);
+        }
     }
 
     /// Records a peer's piggybacked frontier and starts catching up if it
@@ -1281,11 +1401,15 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
     }
 
     /// Marks a request outstanding and arms its retry timer (tagged with
-    /// a fresh epoch so stale timers are inert).
+    /// a fresh epoch so stale timers are inert). Each arming doubles the
+    /// next retry delay up to [`CATCH_UP_RETRY_MAX`] — consecutive
+    /// unanswered requests back off exponentially instead of hammering an
+    /// unreachable peer; [`AbcastNode::absorb_catch_up`] resets the delay.
     fn arm_catch_up_retry(&mut self, ctx: &mut Ctx<V>) {
         self.catch_up_inflight = true;
         self.catch_up_epoch = self.catch_up_epoch.wrapping_add(1);
-        ctx.set_timer(CATCH_UP_RETRY, TimerId::new(TIMER_CATCHUP, self.catch_up_epoch));
+        ctx.set_timer(self.catch_up_retry, TimerId::new(TIMER_CATCHUP, self.catch_up_epoch));
+        self.catch_up_retry = (self.catch_up_retry * 2).min(CATCH_UP_RETRY_MAX);
     }
 
     /// Serves a peer's catch-up request from the decided log, clamped to
@@ -1313,9 +1437,11 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             return;
         }
         // This reply settles the outstanding request; bump the epoch so
-        // its retry timer (still scheduled) cannot re-request.
+        // its retry timer (still scheduled) cannot re-request. The peer is
+        // answering again: restart the retry backoff from its base.
         self.catch_up_inflight = false;
         self.catch_up_epoch = self.catch_up_epoch.wrapping_add(1);
+        self.catch_up_retry = CATCH_UP_RETRY;
         for e in entries {
             if e.k >= self.next_apply {
                 self.caught_up_entries += 1;
@@ -1329,6 +1455,11 @@ impl<V: OrderingValue, A: SingleConsensus<V>> AbcastNode<V, A> {
             }
             self.handle_decision(e.k, e.value, ctx);
         }
+        // A settling catch-up episode is the "I was behind and healed"
+        // signal: repair any accepted broadcast whose payload flood may
+        // have been shed while this node was unreachable. Pending sets are
+        // empty in healthy runs, so this is free there.
+        self.reflood_pending(ctx);
         self.maybe_catch_up(ctx);
     }
 }
@@ -1407,9 +1538,12 @@ impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
 
     fn on_start(&mut self, ctx: &mut Ctx<V>) {
         self.recover_from_log();
-        // Learners send no heartbeats: peers' failure detectors suspect
-        // them, which lets the rotating coordinator skip learner-
-        // coordinated rounds instead of waiting on acks that never come.
+        self.recover_pending(ctx);
+        // Learners send no heartbeats. Peers that know the learner set
+        // (StackParams::with_learner_set) exclude them from suspicion,
+        // rotation and quorums natively; peers that don't will suspect
+        // the silent replica, which still rotates coordination past it —
+        // just after a wasted suspicion timeout.
         if !self.learner {
             let mut fout = FdOut::new();
             self.fd.on_start(ctx.now(), &mut fout);
@@ -1437,6 +1571,11 @@ impl<V: OrderingValue, A: SingleConsensus<V>> Node for AbcastNode<V, A> {
         let id = MsgId::new(self.me, self.next_seq);
         self.next_seq += 1;
         let m = AppMessage::new(id, payload, ctx.now());
+        // Record *before* flooding: once the application sees `Broadcast`,
+        // the payload must survive a crash until its instance is logged.
+        if let Some(pending) = self.pending.as_mut() {
+            pending.record(m.clone());
+        }
         ctx.output(AbcastEvent::Broadcast { id });
         // Algorithm 1 line 8: R-broadcast(m).
         let mut bout = BcastOut::new();
@@ -2317,6 +2456,128 @@ mod tests {
         // And the already-fired t1 epoch certainly is.
         node.on_timer(t1, &mut c);
         assert_eq!(node.catch_up_requests(), 2);
+    }
+
+    #[test]
+    fn catch_up_retry_backs_off_exponentially_and_resets_on_reply() {
+        let mut node = catchup_node();
+        let mut c = ctx();
+        node.on_message(ProcessId::new(1), wrapped_hb(2), &mut c);
+        let (d1, t1) = armed_timer(&mut c, TIMER_CATCHUP);
+        assert_eq!(d1, CATCH_UP_RETRY);
+        // Unanswered retries double the delay…
+        node.on_timer(t1, &mut c);
+        let (d2, t2) = armed_timer(&mut c, TIMER_CATCHUP);
+        assert_eq!(d2, CATCH_UP_RETRY * 2);
+        node.on_timer(t2, &mut c);
+        let (d3, mut last) = armed_timer(&mut c, TIMER_CATCHUP);
+        assert_eq!(d3, CATCH_UP_RETRY * 4);
+        // …up to the cap, where the delay plateaus.
+        let mut prev = d3;
+        for _ in 0..8 {
+            node.on_timer(last, &mut c);
+            let (d, t) = armed_timer(&mut c, TIMER_CATCHUP);
+            assert!(d >= prev, "backoff must be monotone");
+            assert!(d <= CATCH_UP_RETRY_MAX, "backoff must respect the cap");
+            prev = d;
+            last = t;
+        }
+        assert_eq!(prev, CATCH_UP_RETRY_MAX);
+        // A reply resets the backoff: the follow-up request it issues
+        // (still behind the advertised frontier) arms at the base delay.
+        let entries = vec![log_entry(1, &[msg(1, 0)])];
+        node.on_message(ProcessId::new(1), Envelope::CatchUpReply { entries }, &mut c);
+        let (d, _) = armed_timer(&mut c, TIMER_CATCHUP);
+        assert_eq!(d, CATCH_UP_RETRY, "reply must reset the retry backoff");
+    }
+
+    #[test]
+    fn pending_set_tracks_accept_to_log_lifecycle() {
+        let mut node = catchup_node();
+        let mut c = ctx();
+        assert_eq!(node.pending_broadcasts(), 0);
+        node.on_command(AbcastCommand::Broadcast(Payload::zeroed(8)), &mut c);
+        assert_eq!(node.pending_broadcasts(), 1, "accepted broadcast is pending");
+        // The instance ordering our id reaches the log: entry cleared.
+        deliver_decide(&mut node, 1, IdSet::from_ids([MsgId::new(ProcessId::new(0), 0)]), &mut c);
+        assert_eq!(node.decided_frontier(), 1);
+        assert_eq!(node.pending_broadcasts(), 0, "logged broadcast must clear");
+        // Without catch-up there is no pending tracking at all.
+        let mut plain = test_node(1);
+        plain.on_command(AbcastCommand::Broadcast(Payload::zeroed(8)), &mut c);
+        assert_eq!(plain.pending_broadcasts(), 0);
+    }
+
+    #[test]
+    fn restart_refloods_pending_broadcasts_and_resumes_seq() {
+        // The previous incarnation accepted (0, 5) but crashed before its
+        // instance was decided: the pending sidecar survived.
+        let mut store = crate::pending::MemPendingStore::new();
+        store.record(msg(0, 5));
+        let mut node = catchup_node();
+        node.set_pending_store(Box::new(store));
+        let mut c = ctx();
+        node.on_start(&mut c);
+        assert_eq!(node.pending_refloods(), 1);
+        let reflooded = sends(&mut c).into_iter().any(|(_, m)| match m {
+            Envelope::WithFrontier { inner, .. } => matches!(
+                *inner,
+                Envelope::Bcast(BcastMsg::Data(ref am)) if am.id() == msg(0, 5).id()
+            ),
+            _ => false,
+        });
+        assert!(reflooded, "pending broadcast must be re-flooded at start");
+        // next_seq resumes past the pending id even though the log is empty.
+        node.on_command(AbcastCommand::Broadcast(Payload::zeroed(8)), &mut c);
+        let bid = c
+            .take_actions()
+            .into_iter()
+            .find_map(|a| match a {
+                Action::Output(AbcastEvent::Broadcast { id }) => Some(id),
+                _ => None,
+            })
+            .expect("broadcast assigned an id");
+        assert_eq!(bid, MsgId::new(ProcessId::new(0), 6), "no id reuse past pending");
+    }
+
+    #[test]
+    fn recovery_clears_pending_entries_already_in_the_log() {
+        // Crash happened between the log append and the pending clear: the
+        // entry is in both. Recovery must finish the clear, not re-flood.
+        let mut log = MemDecidedLog::new();
+        assert!(log.append(log_entry(1, &[msg(0, 0)])));
+        let mut store = crate::pending::MemPendingStore::new();
+        store.record(msg(0, 0));
+        let mut node = catchup_node();
+        node.set_decided_log(Box::new(log));
+        node.set_pending_store(Box::new(store));
+        let mut c = ctx();
+        node.on_start(&mut c);
+        assert_eq!(node.pending_broadcasts(), 0, "logged entry must be cleared");
+        assert_eq!(node.pending_refloods(), 0, "logged entry must not re-flood");
+    }
+
+    #[test]
+    fn settled_catch_up_refloods_undecided_pending_as_relays() {
+        let mut node = catchup_node();
+        let mut c = ctx();
+        // Accept a broadcast; its id is not decided yet.
+        node.on_command(AbcastCommand::Broadcast(Payload::zeroed(8)), &mut c);
+        c.take_actions();
+        // A catch-up episode settles (peer entries for other ids): the
+        // still-pending broadcast is re-flooded as an RB relay.
+        let entries = vec![log_entry(1, &[msg(1, 0)])];
+        node.on_message(ProcessId::new(1), Envelope::CatchUpReply { entries }, &mut c);
+        assert_eq!(node.pending_refloods(), 1);
+        let relayed = sends(&mut c).into_iter().any(|(_, m)| match m {
+            Envelope::WithFrontier { inner, .. } => matches!(
+                *inner,
+                Envelope::Bcast(BcastMsg::Relay(ref am))
+                    if am.id() == MsgId::new(ProcessId::new(0), 0)
+            ),
+            _ => false,
+        });
+        assert!(relayed, "undecided pending broadcast must re-flood after catch-up");
     }
 
     #[test]

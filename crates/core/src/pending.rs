@@ -1,0 +1,373 @@
+//! The pending set: accepted-but-undecided broadcasts, persisted so no
+//! accepted broadcast is lost across a crash-partition-heal cycle.
+//!
+//! A broadcast is *accepted* the moment `on_command` assigns it an id and
+//! hands it to the reliable broadcast layer. Between that instant and the
+//! instant its instance lands in the [decided log](crate::decided), the
+//! payload exists only in volatile state — the broadcaster's RB store and
+//! whatever frames are in flight. If the broadcaster crashes (or its
+//! outbound frames are shed during a partition) before anyone decides the
+//! id, the payload can vanish while the application already saw
+//! `Broadcast { id }`. The pending store closes that hole:
+//!
+//! * `on_command` records the message here before flooding it;
+//! * the entry is cleared when its instance is appended to the decided log
+//!   (the payload is then self-contained in the log entry);
+//! * on restart — and again whenever a catch-up episode settles — the node
+//!   re-floods every still-pending message. Receivers dedupe by id, so
+//!   re-flooding is idempotent.
+//!
+//! Two implementations mirror the decided log: [`MemPendingStore`] for
+//! simulations, [`DurablePendingStore`] as a sidecar file next to the
+//! [`DurableDecidedLog`](crate::decided::DurableDecidedLog).
+//!
+//! On-disk record format (all integers little-endian):
+//!
+//! ```text
+//! ┌────────────┬──────────┬───────────────────────────────┐
+//! │ len: u32   │ tag: u8  │ AppMessage (tag 0) / MsgId (1)│
+//! ├────────────┼──────────┴───────────────────────────────┤
+//! │ 4 bytes    │ body: exactly `len` bytes                │
+//! └────────────┴──────────────────────────────────────────┘
+//! ```
+//!
+//! Tag 0 records an accepted message, tag 1 clears one by id. On open the
+//! journal is replayed and rewritten compacted (live records only), so the
+//! file stays proportional to the pending set, not to history. Corruption
+//! handling matches the decided log: the longest valid record prefix wins,
+//! everything past it is truncated.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use iabc_types::{AppMessage, Decode, Encode, MsgId};
+
+use crate::decided::MAX_RECORD;
+
+/// Storage for this process's accepted-but-undecided broadcasts.
+///
+/// Entries keep acceptance order (re-floods replay in the original
+/// sequence); `record` of an id already present and `settle` of an absent
+/// id are no-ops, so the callers need no own bookkeeping.
+pub trait PendingStore: Send {
+    /// Re-synchronizes with the backing store (no-op in memory). Called at
+    /// node start, before recovery.
+    fn reload(&mut self);
+
+    /// Records an accepted broadcast.
+    fn record(&mut self, m: AppMessage);
+
+    /// Clears a broadcast whose instance reached the decided log.
+    fn settle(&mut self, id: MsgId);
+
+    /// The still-pending messages, oldest first.
+    fn entries(&self) -> &[AppMessage];
+}
+
+/// An in-memory pending store (no durability).
+#[derive(Debug, Default)]
+pub struct MemPendingStore {
+    entries: Vec<AppMessage>,
+}
+
+impl MemPendingStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemPendingStore { entries: Vec::new() }
+    }
+}
+
+impl PendingStore for MemPendingStore {
+    fn reload(&mut self) {}
+
+    fn record(&mut self, m: AppMessage) {
+        if !self.entries.iter().any(|e| e.id() == m.id()) {
+            self.entries.push(m);
+        }
+    }
+
+    fn settle(&mut self, id: MsgId) {
+        self.entries.retain(|e| e.id() != id);
+    }
+
+    fn entries(&self) -> &[AppMessage] {
+        &self.entries
+    }
+}
+
+/// Journal record tags (see the module docs for the framing).
+const TAG_RECORD: u8 = 0;
+const TAG_CLEAR: u8 = 1;
+
+/// A durable pending store: an append-only journal of record/clear
+/// entries, compacted on every open.
+///
+/// Like the decided log, write failures degrade durability, not
+/// availability: the in-memory view keeps working and
+/// [`DurablePendingStore::io_error`] reports the first failure.
+pub struct DurablePendingStore {
+    path: PathBuf,
+    file: Option<File>,
+    entries: Vec<AppMessage>,
+    io_error: Option<String>,
+}
+
+impl std::fmt::Debug for DurablePendingStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurablePendingStore")
+            .field("path", &self.path)
+            .field("pending", &self.entries.len())
+            .field("io_error", &self.io_error)
+            .finish()
+    }
+}
+
+impl DurablePendingStore {
+    /// Opens (creating if absent) the journal at `path`, replays it, and
+    /// rewrites it compacted. Never panics on corrupt contents: the
+    /// longest valid record prefix is kept, the rest truncated.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let mut store = DurablePendingStore {
+            path: path.as_ref().to_path_buf(),
+            file: None,
+            entries: Vec::new(),
+            io_error: None,
+        };
+        store.recover()?;
+        Ok(store)
+    }
+
+    /// The first IO failure since open, if any.
+    pub fn io_error(&self) -> Option<&str> {
+        self.io_error.as_deref()
+    }
+
+    fn recover(&mut self) -> std::io::Result<()> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&self.path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+
+        self.entries.clear();
+        let mut offset = 0usize;
+        while let Some(header) = raw.get(offset..offset + 4) {
+            let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+            if len > MAX_RECORD {
+                break; // corrupt length — end of valid prefix
+            }
+            let Some(body) = raw.get(offset + 4..offset + 4 + len) else {
+                break; // torn tail
+            };
+            if !self.replay(body) {
+                break; // undecodable body
+            }
+            offset += 4 + len;
+        }
+
+        // Compact: rewrite only the live records. This also drops any torn
+        // tail found above.
+        let mut compacted = Vec::new();
+        for m in &self.entries {
+            append_record(&mut compacted, TAG_RECORD, m);
+        }
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&compacted)?;
+        self.file = Some(file);
+        Ok(())
+    }
+
+    /// Applies one journal body to the in-memory view; `false` on a
+    /// malformed body.
+    fn replay(&mut self, mut body: &[u8]) -> bool {
+        let buf = &mut body;
+        let Ok(tag) = u8::decode(buf) else { return false };
+        match tag {
+            TAG_RECORD => {
+                let Ok(m) = AppMessage::decode(buf) else { return false };
+                if buf.is_empty() {
+                    if !self.entries.iter().any(|e| e.id() == m.id()) {
+                        self.entries.push(m);
+                    }
+                    true
+                } else {
+                    false // trailing bytes: corruption
+                }
+            }
+            TAG_CLEAR => {
+                let Ok(id) = MsgId::decode(buf) else { return false };
+                if buf.is_empty() {
+                    self.entries.retain(|e| e.id() != id);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn write_record(&mut self, tag: u8, value: &impl Encode) {
+        let mut rec = Vec::new();
+        append_record(&mut rec, tag, value);
+        match self.file.as_mut() {
+            Some(file) => {
+                if let Err(e) = file.write_all(&rec) {
+                    self.note_io_error(&e.to_string());
+                }
+            }
+            None => self.note_io_error("pending journal not open"),
+        }
+    }
+
+    fn note_io_error(&mut self, msg: &str) {
+        if self.io_error.is_none() {
+            self.io_error = Some(msg.to_string());
+        }
+    }
+}
+
+/// Appends one framed `[len][tag][body]` record to `out`. Oversized bodies
+/// are dropped silently — they could never be replayed past `MAX_RECORD`
+/// anyway, and a payload that large cannot exist inside the frame cap.
+fn append_record(out: &mut Vec<u8>, tag: u8, value: &impl Encode) {
+    let mut body = vec![tag];
+    value.encode(&mut body);
+    if body.len() > MAX_RECORD {
+        return;
+    }
+    let Ok(len) = u32::try_from(body.len()) else { return };
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&body);
+}
+
+impl PendingStore for DurablePendingStore {
+    fn reload(&mut self) {
+        if let Err(e) = self.recover() {
+            self.note_io_error(&e.to_string());
+        }
+    }
+
+    fn record(&mut self, m: AppMessage) {
+        if self.entries.iter().any(|e| e.id() == m.id()) {
+            return;
+        }
+        self.write_record(TAG_RECORD, &m);
+        self.entries.push(m);
+    }
+
+    fn settle(&mut self, id: MsgId) {
+        if !self.entries.iter().any(|e| e.id() == id) {
+            return;
+        }
+        self.write_record(TAG_CLEAR, &id);
+        self.entries.retain(|e| e.id() != id);
+    }
+
+    fn entries(&self) -> &[AppMessage] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_types::{Payload, ProcessId, Time};
+
+    fn msg(seq: u64) -> AppMessage {
+        AppMessage::new(MsgId::new(ProcessId::new(0), seq), Payload::zeroed(16), Time::ZERO)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("iabc-pending-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn mem_store_records_and_clears_in_order() {
+        let mut s = MemPendingStore::new();
+        s.record(msg(1));
+        s.record(msg(2));
+        s.record(msg(1)); // duplicate: no-op
+        assert_eq!(s.entries().len(), 2);
+        s.settle(msg(1).id());
+        s.settle(MsgId::new(ProcessId::new(9), 9)); // absent: no-op
+        assert_eq!(s.entries().len(), 1);
+        assert_eq!(s.entries()[0].id(), msg(2).id());
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let path = tmp("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = DurablePendingStore::open(&path).unwrap();
+            s.record(msg(1));
+            s.record(msg(2));
+            s.record(msg(3));
+            s.settle(msg(2).id());
+            assert!(s.io_error().is_none());
+        }
+        let s = DurablePendingStore::open(&path).unwrap();
+        let ids: Vec<u64> = s.entries().iter().map(|m| m.id().seq()).collect();
+        assert_eq!(ids, vec![1, 3]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_compacts_the_journal() {
+        let path = tmp("compact");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = DurablePendingStore::open(&path).unwrap();
+            for seq in 0..50 {
+                s.record(msg(seq));
+            }
+            for seq in 0..49 {
+                s.settle(msg(seq).id());
+            }
+        }
+        let journal_len = std::fs::metadata(&path).unwrap().len();
+        let s = DurablePendingStore::open(&path).unwrap();
+        assert_eq!(s.entries().len(), 1);
+        let compacted_len = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            compacted_len < journal_len / 10,
+            "compaction must shrink the journal: {journal_len} -> {compacted_len}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_on_open() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = DurablePendingStore::open(&path).unwrap();
+            s.record(msg(1));
+            s.record(msg(2));
+        }
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let s = DurablePendingStore::open(&path).unwrap();
+        let ids: Vec<u64> = s.entries().iter().map(|m| m.id().seq()).collect();
+        assert_eq!(ids, vec![1], "torn record 2 must be dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_file_recovers_empty() {
+        let path = tmp("garbage");
+        std::fs::write(&path, [0xABu8; 23]).unwrap();
+        let s = DurablePendingStore::open(&path).unwrap();
+        assert!(s.entries().is_empty());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -4,7 +4,7 @@
 use iabc_broadcast::{Broadcast, EagerRb, LazyRb, MajorityAckUrb};
 use iabc_consensus::{CtConsensus, CtIndirect, MrConsensus, MrIndirect};
 use iabc_fd::{FailureDetector, HeartbeatFd, NeverSuspect};
-use iabc_types::{Duration, IdSet, ProcessId};
+use iabc_types::{Duration, IdSet, ProcessId, ProcessSet};
 
 use crate::msgset::MsgSet;
 use crate::node::{AbcastNode, PipelineConfig};
@@ -87,6 +87,14 @@ pub struct StackParams {
     /// Building a world without threading it silently measures the FIFO
     /// model.
     pub priority_lane: bool,
+    /// Processes that are learners (read replicas), known to the *whole*
+    /// membership. Learners are exempt from heartbeat suspicion, skipped
+    /// by consensus coordinator rotation, and left out of every quorum —
+    /// the actives reach consensus among themselves at full speed while
+    /// the replicas follow via catch-up. Empty by default. A process that
+    /// finds itself in this set is built in learner mode automatically
+    /// (as if [`StackParams::with_learner`] were set for it).
+    pub learners: ProcessSet,
 }
 
 impl StackParams {
@@ -100,6 +108,7 @@ impl StackParams {
             cost: CostModel::zero(),
             pipeline: PipelineConfig::fixed(1),
             priority_lane: false,
+            learners: ProcessSet::new(),
         }
     }
 
@@ -112,6 +121,7 @@ impl StackParams {
             cost: CostModel::zero(),
             pipeline: PipelineConfig::fixed(1),
             priority_lane: false,
+            learners: ProcessSet::new(),
         }
     }
 
@@ -213,12 +223,39 @@ impl StackParams {
 
     /// Learner mode (read replica): the node never broadcasts, proposes,
     /// or answers consensus — it consumes peer frontiers and catch-up
-    /// batches only. Implies [`StackParams::with_catch_up`]. A learner
-    /// sends no heartbeats either, so heartbeat-FD peers suspect it and
-    /// rotate consensus coordination past it.
+    /// batches only. Implies [`StackParams::with_catch_up`].
+    ///
+    /// This flag marks the *local* node only. Prefer
+    /// [`StackParams::with_learner_set`], which tells the whole membership
+    /// who the learners are: without it, heartbeat-FD peers suspect the
+    /// silent replica and consensus wastes rounds rotating coordination
+    /// onto it before the suspicion kicks in.
     pub fn with_learner(mut self, on: bool) -> Self {
         self.pipeline = self.pipeline.with_learner(on);
         self
+    }
+
+    /// Declares `learners` as read replicas to the *whole* membership
+    /// (same `StackParams` for every process): heartbeat detectors never
+    /// suspect them, consensus coordinator rotation skips them, and
+    /// quorums are computed over the actives only — so `a` actives
+    /// tolerate `f < a/2` (CT) crashes regardless of how many replicas
+    /// tag along. A process in the set builds itself in learner mode
+    /// (implies catch-up for it, exactly as [`StackParams::with_learner`]
+    /// would).
+    pub fn with_learner_set(mut self, learners: ProcessSet) -> Self {
+        self.learners = learners;
+        self
+    }
+}
+
+/// The pipeline a given process runs: nodes named in the learner set get
+/// learner mode switched on automatically.
+fn pipeline_for(me: ProcessId, p: &StackParams) -> PipelineConfig {
+    if p.learners.contains(me) {
+        p.pipeline.with_learner(true)
+    } else {
+        p.pipeline
     }
 }
 
@@ -229,11 +266,11 @@ fn make_rb(kind: RbKind) -> Box<dyn Broadcast + Send> {
     }
 }
 
-fn make_fd(kind: FdKind, me: ProcessId, n: usize) -> Box<dyn FailureDetector + Send> {
-    match kind {
+fn make_fd(p: &StackParams, me: ProcessId) -> Box<dyn FailureDetector + Send> {
+    match p.fd {
         FdKind::Never => Box::new(NeverSuspect::new()),
         FdKind::Heartbeat { interval, timeout } => {
-            Box::new(HeartbeatFd::new(me, n, interval, timeout))
+            Box::new(HeartbeatFd::new(me, p.n, interval, timeout).with_excluded(p.learners))
         }
     }
 }
@@ -242,15 +279,16 @@ fn make_fd(kind: FdKind, me: ProcessId, n: usize) -> Box<dyn FailureDetector + S
 /// paper's primary stack.
 pub fn indirect_ct(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtIndirect<IdSet>> {
     let n = p.n;
+    let learners = p.learners;
     AbcastNode::new(
         me,
         n,
         make_rb(p.rb),
-        make_fd(p.fd, me, n),
-        move |k| CtIndirect::with_coord_offset(me, n, k),
+        make_fd(p, me),
+        move |k| CtIndirect::with_membership(me, n, k, learners),
         true,
         p.cost,
-        p.pipeline,
+        pipeline_for(me, p),
     )
 }
 
@@ -258,15 +296,16 @@ pub fn indirect_ct(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtIndire
 /// the reduced resilience: safe only while `f < n/3`.
 pub fn indirect_mr(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrIndirect<IdSet>> {
     let n = p.n;
+    let learners = p.learners;
     AbcastNode::new(
         me,
         n,
         make_rb(p.rb),
-        make_fd(p.fd, me, n),
-        move |k| MrIndirect::with_coord_offset(me, n, k),
+        make_fd(p, me),
+        move |k| MrIndirect::with_membership(me, n, k, learners),
         true,
         p.cost,
-        p.pipeline,
+        pipeline_for(me, p),
     )
 }
 
@@ -274,30 +313,32 @@ pub fn indirect_mr(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrIndire
 /// \[2\]: correct, but consensus traffic carries every payload (Figure 1).
 pub fn direct_ct_messages(me: ProcessId, p: &StackParams) -> AbcastNode<MsgSet, CtConsensus<MsgSet>> {
     let n = p.n;
+    let learners = p.learners;
     AbcastNode::new(
         me,
         n,
         make_rb(p.rb),
-        make_fd(p.fd, me, n),
-        move |k| CtConsensus::with_coord_offset(me, n, k),
+        make_fd(p, me),
+        move |k| CtConsensus::with_membership(me, n, k, learners),
         false,
         p.cost,
-        p.pipeline,
+        pipeline_for(me, p),
     )
 }
 
 /// RB + MR consensus on **full message sets**.
 pub fn direct_mr_messages(me: ProcessId, p: &StackParams) -> AbcastNode<MsgSet, MrConsensus<MsgSet>> {
     let n = p.n;
+    let learners = p.learners;
     AbcastNode::new(
         me,
         n,
         make_rb(p.rb),
-        make_fd(p.fd, me, n),
-        move |k| MrConsensus::with_coord_offset(me, n, k),
+        make_fd(p, me),
+        move |k| MrConsensus::with_membership(me, n, k, learners),
         false,
         p.cost,
-        p.pipeline,
+        pipeline_for(me, p),
     )
 }
 
@@ -310,15 +351,16 @@ pub fn direct_mr_messages(me: ProcessId, p: &StackParams) -> AbcastNode<MsgSet, 
 /// counterexample tests; do not use it for anything else.
 pub fn faulty_ct_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtConsensus<IdSet>> {
     let n = p.n;
+    let learners = p.learners;
     AbcastNode::new(
         me,
         n,
         make_rb(p.rb),
-        make_fd(p.fd, me, n),
-        move |k| CtConsensus::with_coord_offset(me, n, k),
+        make_fd(p, me),
+        move |k| CtConsensus::with_membership(me, n, k, learners),
         false,
         p.cost,
-        p.pipeline,
+        pipeline_for(me, p),
     )
 }
 
@@ -328,15 +370,16 @@ pub fn faulty_ct_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtCons
 /// algorithm §3.3.2 proves cannot be repaired by local checks alone.
 pub fn faulty_mr_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrConsensus<IdSet>> {
     let n = p.n;
+    let learners = p.learners;
     AbcastNode::new(
         me,
         n,
         make_rb(p.rb),
-        make_fd(p.fd, me, n),
-        move |k| MrConsensus::with_coord_offset(me, n, k),
+        make_fd(p, me),
+        move |k| MrConsensus::with_membership(me, n, k, learners),
         false,
         p.cost,
-        p.pipeline,
+        pipeline_for(me, p),
     )
 }
 
@@ -346,30 +389,32 @@ pub fn faulty_mr_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrCons
 /// broadcaster delivery (Figures 5–7).
 pub fn urb_ct_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, CtConsensus<IdSet>> {
     let n = p.n;
+    let learners = p.learners;
     AbcastNode::new(
         me,
         n,
         Box::new(MajorityAckUrb::new(me, n)),
-        make_fd(p.fd, me, n),
-        move |k| CtConsensus::with_coord_offset(me, n, k),
+        make_fd(p, me),
+        move |k| CtConsensus::with_membership(me, n, k, learners),
         false,
         p.cost,
-        p.pipeline,
+        pipeline_for(me, p),
     )
 }
 
 /// **URB** + unmodified MR consensus on identifiers.
 pub fn urb_mr_ids(me: ProcessId, p: &StackParams) -> AbcastNode<IdSet, MrConsensus<IdSet>> {
     let n = p.n;
+    let learners = p.learners;
     AbcastNode::new(
         me,
         n,
         Box::new(MajorityAckUrb::new(me, n)),
-        make_fd(p.fd, me, n),
-        move |k| MrConsensus::with_coord_offset(me, n, k),
+        make_fd(p, me),
+        move |k| MrConsensus::with_membership(me, n, k, learners),
         false,
         p.cost,
-        p.pipeline,
+        pipeline_for(me, p),
     )
 }
 

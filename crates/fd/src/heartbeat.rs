@@ -44,6 +44,9 @@ pub struct HeartbeatFd {
     last_seen: Vec<Time>,
     suspected: ProcessSet,
     next_seq: u64,
+    /// Processes exempt from suspicion (learners / read replicas): they
+    /// send no heartbeats by design, so silence from them means nothing.
+    excluded: ProcessSet,
 }
 
 impl HeartbeatFd {
@@ -67,7 +70,19 @@ impl HeartbeatFd {
             last_seen: vec![Time::ZERO; n],
             suspected: ProcessSet::new(),
             next_seq: 0,
+            excluded: ProcessSet::new(),
         }
+    }
+
+    /// Exempts `excluded` processes from suspicion. Learners (read
+    /// replicas) never send heartbeats, so without this a heartbeat
+    /// detector would suspect every replica forever and feed those
+    /// pointless suspicions into consensus. Excluded peers are never
+    /// reported as [`FdEvent::Suspect`]; a heartbeat from one (e.g. a
+    /// misconfigured peer) is still harmless.
+    pub fn with_excluded(mut self, excluded: ProcessSet) -> Self {
+        self.excluded = excluded;
+        self
     }
 
     fn send_heartbeat(&mut self, out: &mut FdOut) {
@@ -78,7 +93,7 @@ impl HeartbeatFd {
 
     fn check(&mut self, now: Time, out: &mut FdOut) {
         for q in ProcessId::all(self.n) {
-            if q == self.me {
+            if q == self.me || self.excluded.contains(q) {
                 continue;
             }
             let silent_for = now.elapsed_since(self.last_seen[q.as_usize()]);
@@ -207,6 +222,22 @@ mod tests {
             })
             .collect();
         assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn excluded_peers_are_never_suspected() {
+        let mut excluded = ProcessSet::new();
+        excluded.insert(p(2));
+        let mut d = HeartbeatFd::new(p(0), 3, ms(10), ms(35)).with_excluded(excluded);
+        let mut out = FdOut::new();
+        d.on_start(Time::ZERO, &mut out);
+        // Both peers stay silent long past the timeout: only the
+        // non-excluded one is suspected.
+        let mut out = FdOut::new();
+        d.on_timer(Time::ZERO + ms(100), TICK_CHECK, &mut out);
+        assert_eq!(out.changes, vec![FdEvent::Suspect(p(1))]);
+        assert!(d.suspects(p(1)));
+        assert!(!d.suspects(p(2)), "learners must not be suspected");
     }
 
     #[test]

@@ -195,7 +195,14 @@ fn rule_b1(graph: &CallGraph, findings: &mut Vec<Finding>) {
 /// loop serves every connection of the process, so a single blocking
 /// call here stalls them all — rule E1 flags every function defined in
 /// these files that may block, directly or through a callee.
-pub const EVENT_LOOP_FILES: &[&str] = &["crates/net/src/event_loop.rs"];
+pub const EVENT_LOOP_FILES: &[&str] = &[
+    "crates/net/src/event_loop.rs",
+    // Loop-resident helpers: the reconnect state machine and the fault
+    // shim both run on the loop thread, so they inherit its no-blocking
+    // contract.
+    "crates/net/src/reconnect.rs",
+    "crates/net/src/netfault.rs",
+];
 
 /// Files exempt from E1 propagation: the poller and its syscall shims.
 /// The `try_read`/`try_write*` helpers wrap `O_NONBLOCK` fds — their
@@ -398,6 +405,35 @@ pub fn unrelated(buf: &[u8]) -> u32 { buf.first().copied().unwrap() as u32 }\n";
 pub fn decode_helper(buf: &[u8]) -> u32 { buf.first().copied().unwrap() as u32 }\n";
         let f2 = run(&[("crates/net/src/r.rs", net), ("crates/types/src/h.rs", types_allowed)]);
         assert!(f2.iter().all(|f| f.rule != "P1"), "{f2:?}");
+    }
+
+    #[test]
+    fn e1_covers_the_reconnect_and_fault_modules() {
+        // The reconnect state machine and the fault shim run on the loop
+        // thread: a blocking op there must flag exactly like one in
+        // event_loop.rs, and the pure fixture must stay quiet.
+        let blocking = "\
+fn dial(&mut self, s: &mut TcpStream) {\n\
+    std::thread::sleep(core::time::Duration::from_millis(1));\n\
+}\n";
+        let f = run(&[("crates/net/src/reconnect.rs", blocking)]);
+        assert!(
+            f.iter().any(|f| f.rule == "E1" && f.file == "crates/net/src/reconnect.rs"),
+            "{f:?}"
+        );
+        let f = run(&[("crates/net/src/netfault.rs", blocking)]);
+        assert!(f.iter().any(|f| f.rule == "E1"), "{f:?}");
+        // A clean fixture shaped like the real module: arithmetic on
+        // passed-in times, no clocks, no syscalls.
+        let clean = "\
+fn due_attempt(&mut self, now: Duration) -> bool {\n\
+    if self.next <= now { self.attempts += 1; true } else { false }\n\
+}\n\
+fn backoff(&self, attempt: u64) -> Duration {\n\
+    self.base.saturating_mul(1u64 << attempt.min(5))\n\
+}\n";
+        let f = run(&[("crates/net/src/reconnect.rs", clean)]);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -69,6 +69,35 @@ impl Parser<'_, '_> {
             while self.at_attr() {
                 attr_test |= self.skip_attr_is_cfg_test();
             }
+            // Visibility and fn qualifiers sit between the attributes and
+            // the item keyword (`#[cfg(test)] pub(crate) mod tests`,
+            // `pub const unsafe fn …`); skip them here so `attr_test`
+            // still applies to the item they modify.
+            while self.i < end {
+                match self.code[self.i].text.as_str() {
+                    "pub" => {
+                        self.i += 1;
+                        // `pub(crate)` / `pub(in path)` restriction group.
+                        if self.code.get(self.i).is_some_and(|t| t.is_punct("(")) {
+                            let close = self.matching_close(self.i, end);
+                            self.i = close + 1;
+                        }
+                    }
+                    "unsafe" | "async" => self.i += 1,
+                    // `const` and `extern` qualify an fn only when one
+                    // follows; `const X: … = …;` and `extern crate` keep
+                    // their own handling in the match below.
+                    "const" | "extern"
+                        if self.code[self.i + 1..end.min(self.code.len())]
+                            .iter()
+                            .take(2)
+                            .any(|t| t.is_ident("fn")) =>
+                    {
+                        self.i += 1;
+                    }
+                    _ => break,
+                }
+            }
             if self.i >= end {
                 break;
             }
@@ -342,6 +371,35 @@ mod more { fn deep() {} }\n";
                 ("helper".into(), true),
                 ("inner".into(), true),
                 ("deep".into(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_survives_visibility_between_attr_and_item() {
+        // The attribute's test-ness must reach the item it modifies even
+        // when `pub`, `pub(crate)`, or fn qualifiers sit in between —
+        // dropping it here lints test helpers as production code.
+        let src = "\
+#[cfg(test)]\n\
+pub(crate) mod tests {\n\
+    pub(crate) fn fixture() {}\n\
+}\n\
+#[cfg(test)]\n\
+pub const fn helper() {}\n\
+pub(crate) fn live() {}\n\
+const LIMIT: usize = 4;\n\
+fn after_const() {}\n";
+        let fs = fns(src);
+        let test_flags: Vec<(String, bool)> =
+            fs.iter().map(|f| (f.name.clone(), f.cfg_test)).collect();
+        assert_eq!(
+            test_flags,
+            vec![
+                ("fixture".into(), true),
+                ("helper".into(), true),
+                ("live".into(), false),
+                ("after_const".into(), false),
             ]
         );
     }

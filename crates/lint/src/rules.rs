@@ -16,6 +16,14 @@ use crate::lexer::{tokenize, Token, TokenKind};
 pub const DETERMINISTIC_CRATES: &[&str] =
     &["types", "runtime", "consensus", "broadcast", "fd", "core", "sim", "workload"];
 
+/// Individual files outside [`DETERMINISTIC_CRATES`] whose logic must be
+/// replayable from a seed: the transport's reconnect backoff and fault
+/// shim decide *when* links heal and *which* frames drop — nemesis runs
+/// only reproduce if those draws come from the plan's seed, never from
+/// ambient clocks or entropy (rules D1/D2).
+pub const DETERMINISTIC_FILES: &[&str] =
+    &["crates/net/src/reconnect.rs", "crates/net/src/netfault.rs"];
+
 /// Crates whose code handles remote input: panics are forbidden (rule P1)
 /// — a malformed frame must poison the connection, not the process.
 pub const REMOTE_INPUT_CRATES: &[&str] = &["net"];
@@ -64,7 +72,8 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     // unwrap, iterate hash maps for assertions, and match loosely.
     let code: Vec<&Token> = non_test_code_tokens(&tokens);
 
-    let deterministic = crate_name.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    let deterministic = crate_name.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c))
+        || DETERMINISTIC_FILES.contains(&rel_path);
     let remote_input = crate_name.is_some_and(|c| REMOTE_INPUT_CRATES.contains(&c))
         || REMOTE_INPUT_FILES.contains(&rel_path);
 

@@ -19,6 +19,7 @@
 
 pub mod cluster;
 pub mod codec;
+pub mod netfault;
 pub mod poll;
 pub mod pool;
 pub mod tcp;
@@ -27,8 +28,10 @@ pub mod tcp_threaded;
 pub(crate) mod adapter;
 pub(crate) mod event_loop;
 pub(crate) mod queue;
+pub(crate) mod reconnect;
 
 pub use cluster::ThreadCluster;
+pub use netfault::{NetFaultPlan, NetFaultReport, NetFaultStats};
 pub use pool::{BufferPool, PoolStats};
 pub use tcp::TcpCluster;
 pub use tcp_threaded::ThreadedTcpCluster;

@@ -42,6 +42,20 @@ impl PollSource for TcpStream {
     }
 }
 
+#[cfg(unix)]
+impl PollSource for std::net::TcpListener {
+    fn poll_fd(&self) -> i32 {
+        std::os::fd::AsRawFd::as_raw_fd(self)
+    }
+}
+
+#[cfg(not(unix))]
+impl PollSource for std::net::TcpListener {
+    fn poll_fd(&self) -> i32 {
+        -1
+    }
+}
+
 /// What a caller wants to be told about one stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Interest {
@@ -497,6 +511,53 @@ pub fn try_write(stream: &mut TcpStream, buf: &[u8]) -> io::Result<Option<usize>
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Nonblocking accept on a listener already in nonblocking mode:
+/// `Ok(None)` when no connection is pending, otherwise the accepted
+/// stream, flipped nonblocking with Nagle disabled — ready for the event
+/// loop. Retries `EINTR`; `ECONNABORTED` (the peer gave up while queued)
+/// reports `None` rather than an error, per the `accept(2)` litany.
+///
+/// # Errors
+///
+/// Propagates accept failures other than
+/// `WouldBlock`/`Interrupted`/`ConnectionAborted`, and failures to
+/// configure the accepted stream.
+pub fn try_accept(listener: &std::net::TcpListener) -> io::Result<Option<TcpStream>> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true)?;
+                stream.set_nonblocking(true)?;
+                return Ok(Some(stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => return Ok(None),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Connects to a **loop-back** peer and returns the stream nonblocking
+/// with Nagle disabled. Sanctioned for event-loop use on the same grounds
+/// as [`Poller::wait`]'s bounded tick: a loop-back `connect(2)` completes
+/// or is refused synchronously in the kernel — there is no network for
+/// the three-way handshake to cross — so the call cannot park the loop on
+/// a remote peer. (The transport is loop-back-only by construction; see
+/// `TcpCluster`.) A refused connect — nobody listening, or the listener
+/// backlog full — surfaces as `Err`, which the reconnect machinery counts
+/// as a failed attempt and retries with backoff.
+///
+/// # Errors
+///
+/// Propagates connect or configuration failures.
+pub fn connect_loopback(addr: &std::net::SocketAddr) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_nonblocking(true)?;
+    Ok(stream)
 }
 
 /// Nonblocking vectored write: `Ok(None)` on `WouldBlock`, else the byte

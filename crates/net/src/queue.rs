@@ -42,6 +42,16 @@ use iabc_types::{TrafficClass, WireSize};
 /// payload-flood workloads this repo benches.
 pub(crate) const MAX_OUTBOUND_FRAMES: usize = 16 * 1024;
 
+/// Bulk-lane watermark while the peer connection is **down**: past this
+/// many parked bulk frames the oldest is shed on every push. Ordering
+/// frames (consensus rounds, acks, frontiers) are retained up to the full
+/// queue capacity — they are what lets the pair converge after the link
+/// heals — while payload floods degrade gracefully instead of either
+/// blocking the node thread against a dead link or growing without bound.
+/// Shed payloads are re-delivered by the protocol layer (catch-up plus
+/// the sender's pending-set re-flood), not the transport.
+pub(crate) const DOWN_BULK_WATERMARK: usize = 1024;
+
 /// The two-lane outbound queue of one peer connection (see module docs).
 pub(crate) struct PeerQueue<M> {
     state: Mutex<PeerQueueState<M>>,
@@ -60,6 +70,14 @@ struct PeerQueueState<M> {
     /// Set on shutdown or on a dead peer: pushes are dropped (a crashed
     /// process loses messages — the quasi-reliable channel model).
     closed: bool,
+    /// Set while the peer connection is down but expected back (reconnect
+    /// in progress): pushes never block — ordering frames are retained up
+    /// to capacity, bulk frames shed their oldest past
+    /// [`DOWN_BULK_WATERMARK`]. The connected path (`down == false`) is
+    /// untouched by this flag.
+    down: bool,
+    /// Frames shed (bulk watermark or ordering overflow) while down.
+    shed: u64,
 }
 
 impl<M> PeerQueueState<M> {
@@ -90,6 +108,8 @@ impl<M: WireSize> PeerQueue<M> {
                 ordering: VecDeque::new(),
                 bulk: VecDeque::new(),
                 closed: false,
+                down: false,
+                shed: 0,
             }),
             ready: Condvar::new(),
             space: Condvar::new(),
@@ -100,12 +120,36 @@ impl<M: WireSize> PeerQueue<M> {
     /// Enqueues one message into its class lane, blocking while the queue
     /// is at capacity (backpressure from a slow peer reaches the node
     /// thread, as the old blocking write did). Dropped if closed.
+    ///
+    /// While the link is **down** ([`PeerQueue::set_link_down`]) the push
+    /// never blocks: there is no drainer to apply backpressure for, so
+    /// ordering frames park up to capacity (newest dropped past it) and
+    /// bulk frames shed their oldest past [`DOWN_BULK_WATERMARK`].
     pub(crate) fn enqueue(&self, msg: M) {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        while !s.closed && s.len() >= self.capacity {
+        while !s.closed && !s.down && s.len() >= self.capacity {
             s = self.space.wait(s).unwrap_or_else(|e| e.into_inner());
         }
         if s.closed {
+            return;
+        }
+        if s.down {
+            match msg.traffic_class() {
+                TrafficClass::Ordering => {
+                    if s.len() < self.capacity {
+                        s.ordering.push_back(msg);
+                    } else {
+                        s.shed += 1;
+                    }
+                }
+                TrafficClass::Bulk => {
+                    s.bulk.push_back(msg);
+                    while s.bulk.len() > DOWN_BULK_WATERMARK {
+                        s.bulk.pop_front();
+                        s.shed += 1;
+                    }
+                }
+            }
             return;
         }
         match msg.traffic_class() {
@@ -122,6 +166,25 @@ impl<M: WireSize> PeerQueue<M> {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
         self.ready.notify_all();
         self.space.notify_all();
+    }
+
+    /// Flips down-mode (see [`PeerQueue::enqueue`]). Entering down-mode
+    /// releases any pusher blocked on a full queue — there is no drainer
+    /// left to make space, so blocking it would wedge the node thread for
+    /// as long as the peer stays gone. Leaving down-mode resumes normal
+    /// backpressure; parked frames drain with the next batch.
+    pub(crate) fn set_link_down(&self, down: bool) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).down = down;
+        if down {
+            self.space.notify_all();
+        } else {
+            self.ready.notify_all();
+        }
+    }
+
+    /// Frames shed so far while down (monotone; never reset).
+    pub(crate) fn shed_count(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).shed
     }
 
     /// Blocks until messages are pending (or the queue closed empty), then
@@ -241,6 +304,69 @@ pub(crate) mod tests {
         assert_eq!(batch.len(), 1);
         batch.clear();
         assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Closed);
+    }
+
+    #[test]
+    fn down_mode_parks_ordering_and_sheds_oldest_bulk_past_the_watermark() {
+        let q: PeerQueue<Classed> = PeerQueue::new();
+        q.set_link_down(true);
+        // Ordering frames (odd) park; bulk frames (even) shed their oldest
+        // once the watermark is exceeded.
+        for v in 0..(2 * DOWN_BULK_WATERMARK as u32 + 11) {
+            q.enqueue(Classed(v));
+        }
+        let mut batch = Vec::new();
+        q.set_link_down(false);
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Took);
+        let ordering: Vec<u32> = batch.iter().map(|c| c.0).filter(|v| v % 2 == 1).collect();
+        let bulk: Vec<u32> = batch.iter().map(|c| c.0).filter(|v| v % 2 == 0).collect();
+        // Every ordering frame survived, FIFO.
+        assert_eq!(ordering.len(), DOWN_BULK_WATERMARK + 5);
+        assert!(ordering.windows(2).all(|w| w[0] < w[1]));
+        // Bulk kept exactly the watermark, and it is the *newest* suffix.
+        assert_eq!(bulk.len(), DOWN_BULK_WATERMARK);
+        assert_eq!(bulk[0], 2 * ((DOWN_BULK_WATERMARK as u32 + 6) - DOWN_BULK_WATERMARK as u32));
+        assert!(bulk.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(q.shed_count(), 6, "six oldest bulk frames shed");
+    }
+
+    #[test]
+    fn down_mode_never_blocks_and_releases_a_blocked_pusher() {
+        let q: Arc<PeerQueue<Classed>> = Arc::new(PeerQueue::with_capacity(4));
+        for v in 0..4 {
+            q.enqueue(Classed(v));
+        }
+        // A pusher is parked on the full queue when the link dies: flipping
+        // down-mode must release it (no drainer will ever free space).
+        let pq = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || pq.enqueue(Classed(101)));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!pusher.is_finished(), "push past capacity must block while up");
+        q.set_link_down(true);
+        pusher.join().unwrap();
+        // Ordering pushes past capacity are dropped (counted), not parked.
+        q.enqueue(Classed(103));
+        assert!(q.shed_count() >= 1);
+        q.set_link_down(false);
+        // Reconnected: parked frames drain normally.
+        let mut batch = Vec::new();
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Took);
+        assert!(batch.len() >= 4);
+    }
+
+    #[test]
+    fn up_path_is_untouched_by_the_down_flag_machinery() {
+        // The connected path must behave exactly as before down-mode
+        // existed: FIFO lanes, ordering first, blocking backpressure
+        // (covered below) — this guards the `down == false` branch.
+        let q: PeerQueue<Classed> = PeerQueue::new();
+        for v in [2, 4, 1, 6, 3] {
+            q.enqueue(Classed(v));
+        }
+        let mut batch = Vec::new();
+        assert_eq!(q.try_take_batch(&mut batch), BatchStatus::Took);
+        assert_eq!(batch.iter().map(|c| c.0).collect::<Vec<_>>(), vec![1, 3, 2, 4, 6]);
+        assert_eq!(q.shed_count(), 0);
     }
 
     #[test]

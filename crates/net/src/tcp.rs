@@ -46,13 +46,14 @@ use iabc_types::{Decode, Encode, ProcessId};
 
 use crate::adapter::{MsgOverTcp, OutboundMesh};
 use crate::cluster::ThreadCluster;
-use crate::event_loop::{self, EventLoopHandle, Waker};
+use crate::event_loop::{self, EventLoopHandle, LoopTopology, OutboundLink, Waker};
+use crate::netfault::{NetFaultPlan, NetFaultReport, NetFaultStats};
 use crate::poll::wake_channel;
 use crate::queue::PeerQueue;
 
-/// Per-process outbound connections: the connected stream to each peer
-/// plus the queue that feeds it, handed to that process's event loop.
-type WriterConns<M> = Vec<Vec<(TcpStream, Arc<PeerQueue<M>>)>>;
+/// Per-process outbound links (connected stream + feeding queue + the
+/// peer's reconnect address), handed to that process's event loop.
+type WriterConns<M> = Vec<Vec<OutboundLink<M>>>;
 use crate::NetOutput;
 
 /// A mesh of loop-back TCP connections between `n` local "processes",
@@ -69,6 +70,7 @@ where
     inner: ThreadCluster<MsgOverTcp<N>>,
     outbound: OutboundMesh<N::Msg>,
     io_loops: Vec<EventLoopHandle>,
+    fault_stats: Vec<Arc<NetFaultStats>>,
 }
 
 impl<N> TcpCluster<N>
@@ -86,7 +88,25 @@ where
     ///
     /// Panics if sockets cannot be bound or connected (loop-back only, so
     /// this indicates local resource exhaustion).
-    pub fn start(n: usize, mut factory: impl FnMut(ProcessId) -> N) -> Self {
+    pub fn start(n: usize, factory: impl FnMut(ProcessId) -> N) -> Self {
+        Self::start_with_faults(n, None, factory)
+    }
+
+    /// [`TcpCluster::start`] with an optional nemesis fault plan. Every
+    /// process's event loop gets a clone of the plan, so both endpoints
+    /// of a partitioned pair sever their half of the link. `None` keeps
+    /// the frame path entirely fault-layer-free (the plan is never
+    /// consulted), so fault-off wire traffic is byte-identical to a
+    /// cluster started through [`TcpCluster::start`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`TcpCluster::start`] does.
+    pub fn start_with_faults(
+        n: usize,
+        faults: Option<NetFaultPlan>,
+        mut factory: impl FnMut(ProcessId) -> N,
+    ) -> Self {
         assert!(n > 0, "need at least one process");
         // Process ids travel as u16 in the handshake and frame tags; every
         // `i as u16` below is bounded by this assert.
@@ -137,7 +157,13 @@ where
                     // lint:allow(P1): bootstrap, documented panic, no remote input yet
                     stream.set_nonblocking(true).expect("nonblocking");
                     let queue = Arc::new(PeerQueue::new());
-                    writer_conns[i].push((stream, Arc::clone(&queue)));
+                    writer_conns[i].push(OutboundLink {
+                        // lint:allow(W2): j < n and start() asserts n fits in u16
+                        peer: ProcessId::new(j as u16),
+                        addr: Some(*addr),
+                        stream,
+                        queue: Arc::clone(&queue),
+                    });
                     row.push(Some(queue));
                 }
             }
@@ -175,25 +201,42 @@ where
         }
 
         // Spawn the event loops last, now that the node threads exist to
-        // inject into.
+        // inject into. Each loop keeps its process's listener (flipped
+        // nonblocking) so severed peers can redial mid-run.
         let mut io_loops = Vec::with_capacity(n);
-        for (j, (inbound, writers)) in
-            inbound_conns.into_iter().zip(writer_conns).enumerate()
+        let mut fault_stats = Vec::with_capacity(n);
+        for (j, ((inbound, writers), listener)) in
+            inbound_conns.into_iter().zip(writer_conns).zip(listeners).enumerate()
         {
             // lint:allow(W2): j < n and start() asserts n fits in u16
             let me = ProcessId::new(j as u16);
             let inject = inner.message_injector(me);
+            // lint:allow(P1): bootstrap, documented panic, no remote input yet
+            listener.set_nonblocking(true).expect("nonblocking listener");
+            let stats = Arc::new(NetFaultStats::default());
+            fault_stats.push(Arc::clone(&stats));
             io_loops.push(event_loop::spawn(
                 me,
-                inbound,
-                writers,
+                LoopTopology {
+                    listener: Some(listener),
+                    inbound,
+                    outbound: writers,
+                    faults: faults.clone(),
+                    stats,
+                },
                 wake_rxs.remove(0),
                 Arc::clone(&wakers[j]),
                 inject,
             ));
         }
 
-        TcpCluster { inner, outbound, io_loops }
+        TcpCluster { inner, outbound, io_loops, fault_stats }
+    }
+
+    /// Per-process fault/reconnect counter snapshots (indexed by process
+    /// id). All zeros unless a fault plan armed or a link actually died.
+    pub fn fault_reports(&self) -> Vec<NetFaultReport> {
+        self.fault_stats.iter().map(|s| s.report()).collect()
     }
 
     /// Sends an application command to process `p`.

@@ -70,6 +70,6 @@ pub mod queue;
 pub mod resource;
 pub mod world;
 
-pub use faults::{CrashSchedule, FaultPlan};
+pub use faults::{CrashSchedule, FaultPlan, FaultTraceEntry, LinkFault, LinkFaults};
 pub use network::NetworkParams;
 pub use world::{OutputRecord, SimBuilder, SimWorld, StopReason};

@@ -3,7 +3,7 @@
 use iabc_runtime::{Action, Context, Node, TimerId};
 use iabc_types::{Duration, ProcessId, Time, TrafficClass, WireSize};
 
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, FaultTraceEntry, LinkFault, LinkFaults};
 use crate::network::NetworkParams;
 use crate::queue::EventQueue;
 use crate::resource::{ClassedResource, FifoResource};
@@ -166,6 +166,14 @@ pub struct SimStats {
     pub messages_dropped: u64,
     /// Messages lost because their sender crashed mid-pipeline.
     pub messages_lost_to_crash: u64,
+    /// Frames lost to an open partition window (link faults).
+    pub frames_partitioned: u64,
+    /// Frames dropped by the lossy-link probability (link faults).
+    pub frames_fault_dropped: u64,
+    /// Frames delivered twice by the duplication probability (link faults).
+    pub frames_duplicated: u64,
+    /// Frames delivered late (extra delay or reorder hold-back; link faults).
+    pub frames_delayed: u64,
     /// Per-process CPU busy time.
     pub cpu_busy: Vec<Duration>,
     /// Per-process NIC transmit busy time.
@@ -266,6 +274,7 @@ impl SimBuilder {
         let mut world = SimWorld {
             n: self.n,
             params: self.params,
+            link_faults: self.faults.links.clone(),
             nodes,
             replacements: (0..self.n).map(|_| None).collect(),
             epoch: vec![0; self.n],
@@ -310,6 +319,9 @@ impl SimBuilder {
 pub struct SimWorld<N: Node> {
     n: usize,
     params: NetworkParams,
+    /// Link-fault layer, if the plan configured one. `None` keeps the
+    /// `TxDone → RxArrive` edge bit-for-bit the fault-free behaviour.
+    link_faults: Option<LinkFaults>,
     nodes: Vec<N>,
     /// Pre-built replacement nodes, consumed by [`SimEvent::Restart`].
     replacements: Vec<Option<N>>,
@@ -375,6 +387,13 @@ impl<N: Node> SimWorld<N> {
     /// Run counters and resource utilization.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// The injected-fault trace, if the plan's [`LinkFaults`] enabled
+    /// [`LinkFaults::record_trace`]. `None` when no link faults are
+    /// installed or tracing is off.
+    pub fn fault_trace(&self) -> Option<&[FaultTraceEntry]> {
+        self.link_faults.as_ref().and_then(|lf| lf.trace())
     }
 
     /// Schedules an application command for process `p` at time `at`.
@@ -536,7 +555,38 @@ impl<N: Node> SimWorld<N> {
                     self.stats.messages_lost_to_crash += 1;
                     return;
                 }
-                let arrive = self.now + self.params.propagation;
+                let mut arrive = self.now + self.params.propagation;
+                if let Some(lf) = &mut self.link_faults {
+                    match lf.judge(self.now, from, to) {
+                        LinkFault::Pass => {}
+                        LinkFault::Partitioned => {
+                            self.stats.frames_partitioned += 1;
+                            return;
+                        }
+                        LinkFault::Dropped => {
+                            self.stats.frames_fault_dropped += 1;
+                            return;
+                        }
+                        LinkFault::Duplicated => {
+                            self.stats.frames_duplicated += 1;
+                            let copy = msg.clone();
+                            self.queue.push(
+                                arrive,
+                                SimEvent::RxArrive { from, to, bytes, msg: copy },
+                            );
+                        }
+                        LinkFault::Delayed(extra) => {
+                            self.stats.frames_delayed += 1;
+                            arrive += extra;
+                        }
+                        LinkFault::Reordered => {
+                            // One extra propagation slot: anything sent on
+                            // this link within the next slot overtakes it.
+                            self.stats.frames_delayed += 1;
+                            arrive += self.params.propagation;
+                        }
+                    }
+                }
                 self.queue.push(arrive, SimEvent::RxArrive { from, to, bytes, msg });
             }
             SimEvent::RxArrive { from, to, bytes, msg } => {
@@ -886,6 +936,85 @@ mod tests {
             p1_outputs.iter().all(|&(inc, _)| inc == 2),
             "no output may come from the dead incarnation: {p1_outputs:?}"
         );
+    }
+
+    #[test]
+    fn partition_window_cuts_and_heals_a_link() {
+        use crate::faults::LinkFaults;
+        // p0 ↔ p2 partitioned for the first 5 ms: a fan-out at 1 ms misses
+        // p2; a fan-out at 8 ms (healed) reaches everyone.
+        let links = LinkFaults::new(0).partition(p(0), p(2), Time::ZERO, Time::ZERO + Duration::from_millis(5));
+        let mut w = SimBuilder::new(3, NetworkParams::setup1())
+            .faults(FaultPlan::with_links(links))
+            .build(|_| Fanout);
+        w.schedule_command(p(0), Time::ZERO + Duration::from_millis(1), 1);
+        w.schedule_command(p(0), Time::ZERO + Duration::from_millis(8), 2);
+        w.run_to_quiescence();
+        let got = |proc: ProcessId, byte: u8| {
+            w.outputs().iter().any(|r| r.process == proc && r.output == (p(0), byte))
+        };
+        assert!(!got(p(2), 1), "partitioned frame must be lost");
+        assert!(got(p(1), 1), "unaffected link delivers");
+        assert!(got(p(2), 2), "healed link delivers");
+        assert_eq!(w.stats().frames_partitioned, 1);
+    }
+
+    #[test]
+    fn duplicated_frames_are_delivered_twice() {
+        use crate::faults::LinkFaults;
+        // 100% duplication: every remote delivery happens twice.
+        let links = LinkFaults::new(0).duplicate(1000);
+        let mut w = SimBuilder::new(2, NetworkParams::setup1())
+            .faults(FaultPlan::with_links(links))
+            .build(|_| Fanout);
+        w.schedule_command(p(0), Time::ZERO, 9);
+        w.run_to_quiescence();
+        let remote = w.outputs().iter().filter(|r| r.process == p(1)).count();
+        assert_eq!(remote, 2, "duplicate copy must arrive");
+        assert_eq!(w.stats().frames_duplicated, 1);
+    }
+
+    #[test]
+    fn empty_link_plan_changes_nothing() {
+        use crate::faults::LinkFaults;
+        let run = |links: Option<LinkFaults>| {
+            let plan = match links {
+                Some(l) => FaultPlan::with_links(l),
+                None => FaultPlan::none(),
+            };
+            let mut w = SimBuilder::new(3, NetworkParams::setup1()).faults(plan).build(|_| Fanout);
+            for i in 0..20u8 {
+                let at = Time::ZERO + Duration::from_micros(u64::from(i) * 53);
+                w.schedule_command(p(u16::from(i) % 3), at, i);
+            }
+            w.run_to_quiescence();
+            w.drain_outputs()
+        };
+        // A LinkFaults with no faults configured must be bit-identical to
+        // no fault layer at all (partitions consume no randomness; zero
+        // probabilities skip the draw entirely).
+        assert_eq!(run(None), run(Some(LinkFaults::new(123))));
+    }
+
+    #[test]
+    fn delayed_frames_arrive_late_but_arrive() {
+        use crate::faults::LinkFaults;
+        let latency = |links: Option<LinkFaults>| {
+            let plan = match links {
+                Some(l) => FaultPlan::with_links(l),
+                None => FaultPlan::none(),
+            };
+            let mut w = SimBuilder::new(2, NetworkParams::setup1()).faults(plan).build(|_| Fanout);
+            w.schedule_command(p(0), Time::ZERO, 1);
+            w.run_to_quiescence();
+            w.outputs().iter().find(|r| r.process == p(1)).map(|r| r.at).unwrap()
+        };
+        let base = latency(None);
+        let delayed = latency(Some(
+            LinkFaults::new(0).delay(1000, Duration::from_millis(3)),
+        ));
+        assert!(delayed > base, "delayed {delayed} vs base {base}");
+        assert!(delayed <= base + Duration::from_millis(3));
     }
 
     #[test]

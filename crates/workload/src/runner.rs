@@ -7,7 +7,7 @@ use iabc_core::{
 use iabc_core::stacks::FdKind;
 use iabc_runtime::Node;
 use iabc_sim::{NetworkParams, SimBuilder, SimWorld, StopReason};
-use iabc_types::{Duration, Payload, ProcessId, Time};
+use iabc_types::{Duration, Payload, ProcessId, ProcessSet, Time};
 
 /// The RNG seed pinned for CI smoke benchmarks: artifacts produced on
 /// different runs (and machines) are byte-comparable only if the workload
@@ -560,6 +560,7 @@ pub fn run_variant(
         cost,
         pipeline: iabc_core::PipelineConfig::fixed(spec.window),
         priority_lane: spec.priority_lane,
+        learners: ProcessSet::new(),
     };
     if let Some((min, max)) = spec.adaptive_window {
         params = params.with_adaptive_window(min, max);

@@ -79,10 +79,13 @@ pub mod prelude {
         AbcastChecker, AbcastCommand, AbcastEvent, ConsensusFamily, CostModel, PipelineConfig,
         RbKind, VariantKind, Violation,
     };
-    pub use iabc_net::{TcpCluster, ThreadCluster};
-    pub use iabc_sim::{CrashSchedule, FaultPlan, NetworkParams, SimBuilder, SimWorld, StopReason};
+    pub use iabc_net::{NetFaultPlan, NetFaultReport, TcpCluster, ThreadCluster};
+    pub use iabc_sim::{
+        CrashSchedule, FaultPlan, FaultTraceEntry, LinkFault, LinkFaults, NetworkParams,
+        SimBuilder, SimWorld, StopReason,
+    };
     pub use iabc_types::{
-        AppMessage, Duration, IdSet, MsgId, Payload, ProcessId, SystemConfig, Time,
+        AppMessage, Duration, IdSet, MsgId, Payload, ProcessId, ProcessSet, SystemConfig, Time,
     };
     pub use iabc_workload::{
         run_abcast_experiment, run_variant, ArrivalKind, ExperimentResult, LatencyStats,

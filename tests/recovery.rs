@@ -125,22 +125,19 @@ fn restarted_process_rejoins_from_its_durable_log() {
 
 #[test]
 fn learner_converges_without_ever_proposing() {
-    // p3 is a learner (read replica): it never broadcasts, proposes, or
-    // acks — the three actives keep a quorum of 3 among themselves (the
-    // heartbeat FD suspects the silent learner and rotates coordination
-    // past it) — yet p3 a-delivers the exact same sequence, learned purely
-    // from frontier piggybacks and catch-up batches.
+    // p3 is a learner (read replica), declared to the whole membership via
+    // the learner set: it never broadcasts, proposes, or acks; the
+    // heartbeat FD never suspects it; coordinator rotation and quorums run
+    // over the three actives only — yet p3 a-delivers the exact same
+    // sequence, learned purely from frontier piggybacks and catch-up
+    // batches.
     let n = 4;
     let learner = ProcessId::new(3);
-    let active_params = hb(n).with_catch_up(true);
-    let learner_params = hb(n).with_learner(true);
-    let mut world = SimBuilder::new(n, NetworkParams::setup1()).build(|p| {
-        if p == learner {
-            stacks::indirect_ct(p, &learner_params)
-        } else {
-            stacks::indirect_ct(p, &active_params)
-        }
-    });
+    let mut learners = ProcessSet::new();
+    learners.insert(learner);
+    let params = hb(n).with_catch_up(true).with_learner_set(learners);
+    let mut world =
+        SimBuilder::new(n, NetworkParams::setup1()).build(|p| stacks::indirect_ct(p, &params));
     for i in 0..15u64 {
         world.schedule_command(
             ProcessId::new((i % 3) as u16),
@@ -176,5 +173,49 @@ fn learner_converges_without_ever_proposing() {
     assert_eq!(
         seqs[3], seqs[0],
         "the learner's sequence must match the actives' byte for byte"
+    );
+}
+
+#[test]
+fn learner_set_survives_an_active_crash() {
+    // The payoff of native learner membership: with p3 declared a learner,
+    // quorums are majorities of the 3 actives (= 2), so the cluster
+    // tolerates one *active* crash. Under the old suspicion-based scheme
+    // the learner still counted toward a 3-of-4 quorum that the two
+    // surviving actives could never reach.
+    let n = 4;
+    let learner = ProcessId::new(3);
+    let mut learners = ProcessSet::new();
+    learners.insert(learner);
+    let params = hb(n).with_catch_up(true).with_learner_set(learners);
+
+    let schedule = CrashSchedule::new().crash(ProcessId::new(2), Time::ZERO + Duration::from_millis(40));
+    let mut world = SimBuilder::new(n, NetworkParams::setup1())
+        .faults(FaultPlan::with_crashes(schedule))
+        .build(|p| stacks::indirect_ct(p, &params));
+    for i in 0..12u64 {
+        world.schedule_command(
+            ProcessId::new((i % 2) as u16), // only the two survivors broadcast
+            Time::ZERO + Duration::from_millis(13 * i + 2),
+            AbcastCommand::Broadcast(Payload::zeroed(16)),
+        );
+    }
+    world.run_until(Time::ZERO + Duration::from_secs(10));
+
+    let mut checker = AbcastChecker::new(n);
+    for rec in world.outputs() {
+        checker.record(rec.process, &rec.output);
+    }
+    assert!(checker.check_safety().is_empty());
+    let seqs = checker.sequences();
+    assert_eq!(
+        seqs[0].len() as u64,
+        12,
+        "two surviving actives + a learner must keep deciding without the crashed third"
+    );
+    assert_eq!(seqs[0], seqs[1]);
+    assert_eq!(
+        seqs[3], seqs[0],
+        "the learner must follow the post-crash decisions byte for byte"
     );
 }
